@@ -1,0 +1,82 @@
+// Reproduces Fig. 13: visualization of the region queries per task.
+// The paper shows census tracts / hexagons (Task 1) and road-map segments
+// (Tasks 2-4) for both datasets; we render our generated counterparts as
+// ASCII maps (one letter per region, '.' for uncovered cells) plus the
+// distribution of region sizes, verifying the four scales are distinct.
+#include <cctype>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace one4all {
+namespace bench {
+namespace {
+
+void RenderTask(const STDataset& dataset, const TaskSpec& task) {
+  const auto regions = MakeTaskRegions(dataset, task);
+  const int64_t h = dataset.hierarchy().atomic_height();
+  const int64_t w = dataset.hierarchy().atomic_width();
+  std::vector<std::string> canvas(static_cast<size_t>(h),
+                                  std::string(static_cast<size_t>(w), '.'));
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const char label =
+        static_cast<char>('a' + static_cast<char>(i % 26));
+    for (int64_t r = 0; r < h; ++r) {
+      for (int64_t c = 0; c < w; ++c) {
+        if (regions[i].at(r, c)) {
+          canvas[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+              (i / 26) % 2 == 0 ? label
+                                : static_cast<char>(std::toupper(label));
+        }
+      }
+    }
+  }
+  int64_t total = 0, smallest = h * w, largest = 0;
+  for (const GridMask& region : regions) {
+    total += region.Count();
+    smallest = std::min(smallest, region.Count());
+    largest = std::max(largest, region.Count());
+  }
+  std::cout << "-- " << task.name << " (" << RegionStyleName(task.style)
+            << ", target ~" << task.mean_cells << " cells): "
+            << regions.size() << " regions, mean "
+            << TablePrinter::Num(
+                   static_cast<double>(total) /
+                       static_cast<double>(regions.size()),
+                   1)
+            << " cells (min " << smallest << ", max " << largest << ")\n";
+  for (const std::string& row : canvas) std::cout << "  " << row << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace one4all
+
+int main() {
+  using namespace one4all;
+  using namespace one4all::bench;
+  std::cout << "=== Fig. 13 reproduction: region queries per task ===\n";
+  BenchConfig config = BenchConfig::FromEnv();
+  for (DatasetKind kind : {DatasetKind::kTaxi, DatasetKind::kFreight}) {
+    std::cout << "\n### " << DatasetName(kind) << " ###\n";
+    const STDataset dataset = MakeBenchDataset(kind, config);
+    double prev_mean = 0.0;
+    bool scales_increase = true;
+    for (const TaskSpec& task :
+         PaperTasks(kind == DatasetKind::kFreight)) {
+      const auto regions = MakeTaskRegions(dataset, task);
+      int64_t total = 0;
+      for (const GridMask& region : regions) total += region.Count();
+      const double mean =
+          static_cast<double>(total) / static_cast<double>(regions.size());
+      scales_increase &= mean > prev_mean;
+      prev_mean = mean;
+      RenderTask(dataset, task);
+    }
+    PrintShapeCheck(std::string(DatasetName(kind)) +
+                        ": mean region size strictly increases from Task 1 "
+                        "to Task 4 (the paper's four scales)",
+                    scales_increase);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Fig. 16: effect of the spatial modeling block. The paper
+// swaps SEBlock (default) for ResBlock and ConvBlock and finds SEBlock
+// consistently best (channel-wise recalibration), ahead of ResBlock,
+// ahead of plain ConvBlock.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace one4all;
+  using namespace one4all::bench;
+  std::cout << "=== Fig. 16 reproduction: effect of the spatial modeling "
+               "block ===\n";
+  BenchConfig config = BenchConfig::FromEnv();
+  // Blocks differ in capacity; train each variant to convergence so the
+  // comparison reflects the architecture, not the epoch budget.
+  config.early_stopping = true;
+  config.epochs = std::max(config.epochs, 30);
+  config.learning_rate = 5e-3f;
+  const STDataset dataset = MakeBenchDataset(DatasetKind::kTaxi, config);
+
+  const auto tasks = PaperTasks(false);
+  std::vector<std::vector<GridMask>> task_regions;
+  for (const TaskSpec& task : tasks) {
+    task_regions.push_back(MakeTaskRegions(dataset, task));
+  }
+
+  TablePrinter table("Spatial block vs accuracy — ours");
+  table.SetHeader({"Block", "T1 RMSE", "T1 MAPE", "T2 RMSE", "T2 MAPE",
+                   "T3 RMSE", "T3 MAPE", "T4 RMSE", "T4 MAPE"});
+  // rmse[block][task], mape[block][task]; order: SE, Res, Conv.
+  std::vector<std::vector<double>> rmse, mape;
+  for (SpatialBlockType block : {SpatialBlockType::kSE,
+                                 SpatialBlockType::kRes,
+                                 SpatialBlockType::kConv}) {
+    One4AllNetOptions options;
+    options.block = block;
+    options.seed = 617;
+    auto net = TrainOne4All(dataset, config, options);
+    auto pipeline = MauPipeline::Build(net.get(), dataset, SearchOptions{});
+    std::vector<std::string> cells = {SpatialBlockTypeName(block)};
+    std::vector<double> block_rmse, block_mape;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const auto result = pipeline->Evaluate(
+          task_regions[t], QueryStrategy::kUnionSubtraction);
+      block_rmse.push_back(result.rmse);
+      block_mape.push_back(result.mape);
+      cells.push_back(TablePrinter::Num(result.rmse, 2));
+      cells.push_back(TablePrinter::Num(result.mape, 3));
+    }
+    rmse.push_back(std::move(block_rmse));
+    mape.push_back(std::move(block_mape));
+    table.AddRow(std::move(cells));
+    std::cout << "  evaluated " << SpatialBlockTypeName(block) << "\n";
+  }
+  table.Print(std::cout);
+
+  std::cout << "paper: SEBlock beats ConvBlock and ResBlock in all cases "
+               "(up to 0.6% MAPE over ResBlock; Fig. 16 reports MAPE).\n";
+  int se_wins = 0;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (mape[0][t] <= mape[1][t] && mape[0][t] <= mape[2][t]) ++se_wins;
+  }
+  PrintShapeCheck(
+      "SEBlock has the best MAPE (the paper's Fig. 16 metric) on >= 3 of "
+      "4 tasks",
+      se_wins >= 3);
+  return 0;
+}

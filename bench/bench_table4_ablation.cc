@@ -1,0 +1,119 @@
+// Reproduces Table IV: ablation of the hierarchical spatial modeling
+// (HSM) and scale normalization (SN) modules, plus an extension ablation
+// of the cross-scale modeling pathway (CSM) that the paper motivates in
+// Sec. IV-B3 but does not table.
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace one4all {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  const char* task;
+  double full_rmse, full_mape;
+  double no_hsm_rmse, no_hsm_mape;
+  double no_sn_rmse, no_sn_mape;
+};
+
+const PaperRow kPaper[] = {
+    {"Task 1", 17.48, .104, 18.36, .108, 34.59, .228},
+    {"Task 2", 22.74, .099, 24.41, .107, 41.16, .184},
+    {"Task 3", 44.45, .099, 49.14, .113, 69.46, .157},
+    {"Task 4", 110.2, .082, 125.0, .091, 135.1, .150},
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace one4all
+
+int main() {
+  using namespace one4all;
+  using namespace one4all::bench;
+  std::cout << "=== Table IV reproduction: ablation of HSM and SN (plus "
+               "CSM extension) ===\n";
+  const BenchConfig config = BenchConfig::FromEnv();
+  const STDataset dataset = MakeBenchDataset(DatasetKind::kTaxi, config);
+
+  struct VariantSpec {
+    const char* label;
+    One4AllNetOptions options;
+  };
+  std::vector<VariantSpec> variants;
+  {
+    One4AllNetOptions full;
+    full.seed = 614;
+    variants.push_back({"One4All-ST", full});
+    One4AllNetOptions no_hsm = full;
+    no_hsm.hierarchical_spatial_modeling = false;
+    variants.push_back({"w/o HSM", no_hsm});
+    One4AllNetOptions no_sn = full;
+    no_sn.scale_normalization = false;
+    variants.push_back({"w/o SN", no_sn});
+    One4AllNetOptions no_csm = full;
+    no_csm.cross_scale = false;
+    variants.push_back({"w/o CSM (extension)", no_csm});
+  }
+
+  const auto tasks = PaperTasks(/*hexagon_task1=*/false);
+  std::vector<std::vector<GridMask>> task_regions;
+  for (const TaskSpec& task : tasks) {
+    task_regions.push_back(MakeTaskRegions(dataset, task));
+  }
+
+  TablePrinter table("Table IV — ours (rows = tasks, columns = variants)");
+  table.SetHeader({"Task", "Full RMSE", "Full MAPE", "w/o HSM RMSE",
+                   "w/o HSM MAPE", "w/o SN RMSE", "w/o SN MAPE",
+                   "w/o CSM RMSE", "w/o CSM MAPE"});
+
+  // results[variant][task].
+  std::vector<std::vector<QueryEvalResult>> results(variants.size());
+  for (size_t v = 0; v < variants.size(); ++v) {
+    auto net = TrainOne4All(dataset, config, variants[v].options);
+    auto pipeline = MauPipeline::Build(net.get(), dataset, SearchOptions{});
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      results[v].push_back(pipeline->Evaluate(
+          task_regions[t], QueryStrategy::kUnionSubtraction));
+    }
+    std::cout << "  evaluated " << variants[v].label << "\n";
+  }
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    std::vector<std::string> cells = {tasks[t].name};
+    for (size_t v = 0; v < variants.size(); ++v) {
+      cells.push_back(TablePrinter::Num(results[v][t].rmse, 2));
+      cells.push_back(TablePrinter::Num(results[v][t].mape, 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout);
+
+  TablePrinter paper("Table IV — paper");
+  paper.SetHeader({"Task", "Full RMSE", "Full MAPE", "w/o HSM RMSE",
+                   "w/o HSM MAPE", "w/o SN RMSE", "w/o SN MAPE"});
+  for (const auto& row : kPaper) {
+    paper.AddRow({row.task, TablePrinter::Num(row.full_rmse, 2),
+                  TablePrinter::Num(row.full_mape, 3),
+                  TablePrinter::Num(row.no_hsm_rmse, 2),
+                  TablePrinter::Num(row.no_hsm_mape, 3),
+                  TablePrinter::Num(row.no_sn_rmse, 2),
+                  TablePrinter::Num(row.no_sn_mape, 3)});
+  }
+  paper.Print(std::cout);
+
+  int full_beats_hsm = 0, full_beats_sn = 0;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (results[0][t].rmse < results[1][t].rmse) ++full_beats_hsm;
+    if (results[0][t].rmse < results[2][t].rmse) ++full_beats_sn;
+  }
+  PrintShapeCheck("full model beats w/o HSM on >= 3 of 4 tasks",
+                  full_beats_hsm >= 3);
+  PrintShapeCheck("full model beats w/o SN on >= 3 of 4 tasks",
+                  full_beats_sn >= 3);
+  PrintShapeCheck(
+      "removing SN hurts fine tasks the most (Task 1 degradation ratio > "
+      "Task 4's)",
+      results[2][0].rmse / results[0][0].rmse >
+          results[2][3].rmse / results[0][3].rmse);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "combine/combination.h"
+
+#include <set>
+#include <sstream>
+
+namespace one4all {
+
+void Combination::Append(const Combination& other, int8_t sign) {
+  for (const CombinationTerm& term : other.terms) {
+    terms.push_back(
+        CombinationTerm{term.grid, static_cast<int8_t>(term.sign * sign)});
+  }
+}
+
+SignedMask Combination::ToSignedMask(const Hierarchy& hierarchy) const {
+  SignedMask mask(hierarchy.atomic_height(), hierarchy.atomic_width());
+  for (const CombinationTerm& term : terms) {
+    const CellRect rect = hierarchy.CellsOf(term.grid);
+    mask.AccumulateRect(rect.r0, rect.c0, rect.r1, rect.c1, term.sign);
+  }
+  return mask;
+}
+
+bool Combination::CoversExactly(const Hierarchy& hierarchy,
+                                const GridMask& region) const {
+  return ToSignedMask(hierarchy).EqualsRegion(region);
+}
+
+std::vector<float> Combination::Evaluate(
+    const ScalePredictionSet& preds) const {
+  std::vector<float> out(static_cast<size_t>(preds.num_timesteps()), 0.0f);
+  for (const CombinationTerm& term : terms) {
+    const float sign = static_cast<float>(term.sign);
+    for (int64_t i = 0; i < preds.num_timesteps(); ++i) {
+      out[static_cast<size_t>(i)] +=
+          sign * preds.Prediction(term.grid.layer, i, term.grid.row,
+                                  term.grid.col);
+    }
+  }
+  return out;
+}
+
+int Combination::NumScalesUsed() const {
+  std::set<int> layers;
+  for (const CombinationTerm& term : terms) layers.insert(term.grid.layer);
+  return static_cast<int>(layers.size());
+}
+
+bool Combination::UsesSubtraction() const {
+  for (const CombinationTerm& term : terms) {
+    if (term.sign < 0) return true;
+  }
+  return false;
+}
+
+std::string Combination::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i || terms[i].sign < 0) oss << (terms[i].sign > 0 ? "+" : "-");
+    oss << terms[i].grid.ToString();
+  }
+  return oss.str();
+}
+
+}  // namespace one4all

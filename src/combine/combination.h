@@ -1,0 +1,59 @@
+// Grid combinations (Eq. 3): signed sets of hierarchical grids whose
+// union/subtraction algebra reconstructs a target areal unit.
+#ifndef ONE4ALL_COMBINE_COMBINATION_H_
+#define ONE4ALL_COMBINE_COMBINATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "combine/prediction_set.h"
+#include "grid/hierarchy.h"
+#include "grid/mask.h"
+
+namespace one4all {
+
+/// \brief One signed grid term.
+struct CombinationTerm {
+  GridId grid;
+  int8_t sign = 1;  ///< +1 union, -1 subtraction
+
+  bool operator==(const CombinationTerm& other) const {
+    return grid == other.grid && sign == other.sign;
+  }
+};
+
+/// \brief A combination Lambda = {lambda_s} (Eq. 3) as a flat term list.
+struct Combination {
+  std::vector<CombinationTerm> terms;
+
+  /// \brief Single positive term.
+  static Combination Single(const GridId& id) {
+    return Combination{{CombinationTerm{id, 1}}};
+  }
+
+  /// \brief Concatenates terms of `other` with the given overall sign.
+  void Append(const Combination& other, int8_t sign = 1);
+
+  /// \brief Renders the combination into a signed atomic mask (As of
+  /// Eq. 3/5).
+  SignedMask ToSignedMask(const Hierarchy& hierarchy) const;
+
+  /// \brief True iff the combination reduces exactly to `region` (Eq. 5).
+  bool CoversExactly(const Hierarchy& hierarchy,
+                     const GridMask& region) const;
+
+  /// \brief Evaluates the combination's predicted series on a prediction
+  /// set: sum over terms of sign * prediction series.
+  std::vector<float> Evaluate(const ScalePredictionSet& preds) const;
+
+  /// \brief Uses how many distinct scales.
+  int NumScalesUsed() const;
+  bool UsesSubtraction() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_COMBINE_COMBINATION_H_

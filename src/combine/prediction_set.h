@@ -1,0 +1,54 @@
+// Per-scale prediction series: the raw-flow predictions of a model for a
+// set of time slots, at every hierarchy layer. Combination search scores
+// candidate grid combinations against these series (validation split);
+// the query layer evaluates chosen combinations on the test split.
+#ifndef ONE4ALL_COMBINE_PREDICTION_SET_H_
+#define ONE4ALL_COMBINE_PREDICTION_SET_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "grid/hierarchy.h"
+#include "model/predictor.h"
+
+namespace one4all {
+
+/// \brief Holds predictions [T, Hl, Wl] and ground truth per layer for a
+/// fixed list of time slots.
+class ScalePredictionSet {
+ public:
+  /// \brief Runs `predictor` over `timesteps` (in batches) at every layer.
+  static ScalePredictionSet FromPredictor(FlowPredictor* predictor,
+                                          const STDataset& dataset,
+                                          const std::vector<int64_t>& timesteps,
+                                          int batch_size = 16);
+
+  int num_layers() const { return static_cast<int>(preds_.size()); }
+  int64_t num_timesteps() const {
+    return static_cast<int64_t>(timesteps_.size());
+  }
+  const std::vector<int64_t>& timesteps() const { return timesteps_; }
+
+  /// \brief Predicted flow of grid (row,col) at layer `layer`, slot index
+  /// `i` (0-based into timesteps()).
+  float Prediction(int layer, int64_t i, int64_t row, int64_t col) const;
+
+  /// \brief Ground-truth flow of the same grid/slot.
+  float Truth(int layer, int64_t i, int64_t row, int64_t col) const;
+
+  /// \brief Full predicted series of a grid (length num_timesteps()).
+  std::vector<float> PredictionSeries(const GridId& id) const;
+  std::vector<float> TruthSeries(const GridId& id) const;
+
+ private:
+  std::vector<int64_t> timesteps_;
+  std::vector<Tensor> preds_;   // per layer: [T, Hl, Wl]
+  std::vector<Tensor> truths_;  // per layer: [T, Hl, Wl]
+};
+
+/// \brief Sum of squared differences between two equal-length series.
+double SeriesSse(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_COMBINE_PREDICTION_SET_H_

@@ -1,0 +1,210 @@
+#include "combine/search.h"
+
+#include <algorithm>
+
+namespace one4all {
+
+const GridBest& CombinationSearchResult::Single(const Hierarchy& hierarchy,
+                                                const GridId& id) const {
+  const LayerInfo& info = hierarchy.layer(id.layer);
+  const auto& layer = singles_[static_cast<size_t>(id.layer - 1)];
+  return layer[static_cast<size_t>(id.row * info.width + id.col)];
+}
+
+const GridBest* CombinationSearchResult::Multi(
+    const MultiGridKey& key) const {
+  auto it = multi_.find(key);
+  return it == multi_.end() ? nullptr : &it->second;
+}
+
+size_t CombinationSearchResult::num_multi_with_subtraction() const {
+  size_t count = 0;
+  for (const auto& [key, best] : multi_) {
+    if (best.combo.UsesSubtraction()) ++count;
+  }
+  return count;
+}
+
+MultiGridKey CombinationSearchResult::KeyFor(
+    const Hierarchy& hierarchy, const std::vector<GridId>& grids) {
+  O4A_CHECK(!grids.empty());
+  const GridId parent = hierarchy.ParentOf(grids[0]);
+  const int64_t k = hierarchy.layer(parent.layer).window;
+  MultiGridKey key;
+  key.layer = grids[0].layer;
+  key.parent_row = parent.row;
+  key.parent_col = parent.col;
+  for (const GridId& g : grids) {
+    O4A_CHECK(hierarchy.ParentOf(g) == parent)
+        << "multi-grid members must share a parent";
+    const int64_t dr = g.row - parent.row * k;
+    const int64_t dc = g.col - parent.col * k;
+    key.position_mask |= 1u << static_cast<uint32_t>(dr * k + dc);
+  }
+  return key;
+}
+
+namespace {
+
+// Adds series `b` (scaled by sign) into `a`.
+void AddSeries(std::vector<float>* a, const std::vector<float>& b,
+               float sign = 1.0f) {
+  O4A_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < a->size(); ++i) (*a)[i] += sign * b[i];
+}
+
+// Enumerates connected proper subsets (size >= 2) of the child positions
+// present under one parent; positions live on a k x k lattice.
+std::vector<uint32_t> ConnectedSubsets(int64_t k, uint32_t present_mask) {
+  const int num_positions = static_cast<int>(k * k);
+  std::vector<uint32_t> result;
+  const uint32_t full = present_mask;
+  for (uint32_t mask = 1; mask < (1u << num_positions); ++mask) {
+    if ((mask & ~full) != 0) continue;       // uses an absent child
+    if (mask == full) continue;              // full set == the parent
+    const int size = __builtin_popcount(mask);
+    if (size < 2) continue;
+    // Connectivity via BFS over edge-adjacent positions.
+    uint32_t seen = mask & (~mask + 1);  // lowest set bit
+    for (;;) {
+      uint32_t grown = seen;
+      for (int p = 0; p < num_positions; ++p) {
+        if (!(mask & (1u << p)) || (seen & (1u << p))) continue;
+        const int64_t pr = p / k, pc = p % k;
+        const int64_t dr[] = {-1, 1, 0, 0};
+        const int64_t dc[] = {0, 0, -1, 1};
+        for (int d = 0; d < 4; ++d) {
+          const int64_t nr = pr + dr[d], nc = pc + dc[d];
+          if (nr < 0 || nr >= k || nc < 0 || nc >= k) continue;
+          const int np = static_cast<int>(nr * k + nc);
+          if (seen & (1u << np)) {
+            grown |= 1u << p;
+            break;
+          }
+        }
+      }
+      if (grown == seen) break;
+      seen = grown;
+    }
+    if (seen == mask) result.push_back(mask);
+  }
+  return result;
+}
+
+}  // namespace
+
+CombinationSearchResult SearchOptimalCombinations(
+    const Hierarchy& hierarchy, const ScalePredictionSet& val_preds,
+    const SearchOptions& options) {
+  O4A_CHECK_EQ(val_preds.num_layers(), hierarchy.num_layers());
+  CombinationSearchResult result;
+  const int n_layers = hierarchy.num_layers();
+  result.singles_.resize(static_cast<size_t>(n_layers));
+
+  // ---- Pass 1: bottom-up union DP over single grids (Lemma 4.2). -------
+  for (int l = 1; l <= n_layers; ++l) {
+    const LayerInfo& info = hierarchy.layer(l);
+    auto& layer_best = result.singles_[static_cast<size_t>(l - 1)];
+    layer_best.resize(static_cast<size_t>(info.height * info.width));
+    for (int64_t r = 0; r < info.height; ++r) {
+      for (int64_t c = 0; c < info.width; ++c) {
+        const GridId id{l, r, c};
+        const std::vector<float> truth = val_preds.TruthSeries(id);
+
+        GridBest direct;
+        direct.combo = Combination::Single(id);
+        direct.series = val_preds.PredictionSeries(id);
+        direct.sse = SeriesSse(direct.series, truth);
+
+        GridBest best = std::move(direct);
+        if (l >= 2) {
+          // Candidate: union of the children's optima.
+          GridBest children_union;
+          children_union.series.assign(
+              static_cast<size_t>(val_preds.num_timesteps()), 0.0f);
+          for (const GridId& child : hierarchy.ChildrenOf(id)) {
+            const GridBest& cb = result.Single(hierarchy, child);
+            children_union.combo.Append(cb.combo);
+            AddSeries(&children_union.series, cb.series);
+          }
+          children_union.sse = SeriesSse(children_union.series, truth);
+          if (children_union.sse < best.sse) best = std::move(children_union);
+        }
+        layer_best[static_cast<size_t>(r * info.width + c)] = std::move(best);
+      }
+    }
+  }
+
+  // ---- Pass 2: multi-grids with subtraction (Theorem 4.3). --------------
+  if (!options.enable_subtraction) return result;
+  for (int l = 1; l < n_layers; ++l) {
+    const LayerInfo& parent_info = hierarchy.layer(l + 1);
+    const int64_t k = parent_info.window;
+    if (k > options.max_window_for_multigrid) continue;
+    for (int64_t pr = 0; pr < parent_info.height; ++pr) {
+      for (int64_t pc = 0; pc < parent_info.width; ++pc) {
+        const GridId parent{l + 1, pr, pc};
+        const std::vector<GridId> children = hierarchy.ChildrenOf(parent);
+        if (children.size() < 3) continue;  // no proper subset of size >= 2
+        uint32_t present = 0;
+        for (const GridId& child : children) {
+          const int64_t dr = child.row - pr * k;
+          const int64_t dc = child.col - pc * k;
+          present |= 1u << static_cast<uint32_t>(dr * k + dc);
+        }
+        const GridBest& parent_best = result.Single(hierarchy, parent);
+        for (uint32_t mask : ConnectedSubsets(k, present)) {
+          // Members and complement (relative to the present children).
+          std::vector<const GridBest*> members, complement;
+          std::vector<float> truth(
+              static_cast<size_t>(val_preds.num_timesteps()), 0.0f);
+          for (const GridId& child : children) {
+            const int64_t dr = child.row - pr * k;
+            const int64_t dc = child.col - pc * k;
+            const uint32_t bit = 1u << static_cast<uint32_t>(dr * k + dc);
+            const GridBest& cb = result.Single(hierarchy, child);
+            if (mask & bit) {
+              members.push_back(&cb);
+              AddSeries(&truth, val_preds.TruthSeries(child));
+            } else {
+              complement.push_back(&cb);
+            }
+          }
+
+          // Candidate 1 (union): sum of member optima.
+          GridBest union_cand;
+          union_cand.series.assign(
+              static_cast<size_t>(val_preds.num_timesteps()), 0.0f);
+          for (const GridBest* m : members) {
+            union_cand.combo.Append(m->combo);
+            AddSeries(&union_cand.series, m->series);
+          }
+          union_cand.sse = SeriesSse(union_cand.series, truth);
+
+          // Candidate 2 (subtraction): parent optimum minus complement
+          // optima (Eq. 14).
+          GridBest sub_cand;
+          sub_cand.combo = parent_best.combo;
+          sub_cand.series = parent_best.series;
+          for (const GridBest* m : complement) {
+            sub_cand.combo.Append(m->combo, /*sign=*/-1);
+            AddSeries(&sub_cand.series, m->series, -1.0f);
+          }
+          sub_cand.sse = SeriesSse(sub_cand.series, truth);
+
+          MultiGridKey key;
+          key.layer = l;
+          key.parent_row = pr;
+          key.parent_col = pc;
+          key.position_mask = mask;
+          result.multi_.emplace(
+              key, sub_cand.sse < union_cand.sse ? std::move(sub_cand)
+                                                 : std::move(union_cand));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace one4all

@@ -1,0 +1,98 @@
+// Optimal combination search (paper Sec. IV-C): a bottom-up dynamic
+// program over the hierarchy finds, for every single grid, the
+// minimum-error combination under union operations (Lemma 4.2); a second
+// pass over multi-grids adds subtraction candidates (parent minus
+// complement, Theorem 4.3). Errors are SSE of predicted-vs-truth series
+// on the validation split.
+#ifndef ONE4ALL_COMBINE_SEARCH_H_
+#define ONE4ALL_COMBINE_SEARCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "combine/combination.h"
+
+namespace one4all {
+
+struct SearchOptions {
+  /// Enables the subtraction pass over multi-grids (Sec. IV-C2). The
+  /// union-only DP corresponds to the paper's "Union" strategy; with this
+  /// flag it becomes "Union & Subtraction".
+  bool enable_subtraction = true;
+  /// Multi-grid enumeration is exponential in the window area; windows
+  /// larger than this fall back to union-only for multi-grids.
+  int64_t max_window_for_multigrid = 3;
+};
+
+/// \brief Best combination found for one (multi-)grid.
+struct GridBest {
+  Combination combo;
+  double sse = 0.0;
+  std::vector<float> series;  ///< the combination's validation series
+};
+
+/// \brief Identifies a multi-grid: the layer of its member grids, their
+/// common parent, and the bitmask of occupied child positions (pos =
+/// dr*K + dc inside the parent window, cf. the paper's A-L coding).
+struct MultiGridKey {
+  int layer = 1;
+  int64_t parent_row = 0;
+  int64_t parent_col = 0;
+  uint32_t position_mask = 0;
+
+  bool operator==(const MultiGridKey& other) const {
+    return layer == other.layer && parent_row == other.parent_row &&
+           parent_col == other.parent_col &&
+           position_mask == other.position_mask;
+  }
+};
+
+struct MultiGridKeyHash {
+  size_t operator()(const MultiGridKey& k) const {
+    size_t h = static_cast<size_t>(k.layer);
+    h = h * 1000003u + static_cast<size_t>(k.parent_row);
+    h = h * 1000003u + static_cast<size_t>(k.parent_col);
+    h = h * 1000003u + k.position_mask;
+    return h;
+  }
+};
+
+/// \brief Result of the offline search: per-single-grid optima plus the
+/// multi-grid table.
+class CombinationSearchResult {
+ public:
+  /// \brief Optimal combination of a single grid.
+  const GridBest& Single(const Hierarchy& hierarchy, const GridId& id) const;
+
+  /// \brief Optimal combination of a multi-grid, or nullptr when the
+  /// search did not enumerate it (callers fall back to unions of singles).
+  const GridBest* Multi(const MultiGridKey& key) const;
+
+  /// \brief Number of stored multi-grid entries.
+  size_t num_multi() const { return multi_.size(); }
+  /// \brief Multi-grid entries whose best combination uses subtraction.
+  size_t num_multi_with_subtraction() const;
+
+  /// \brief Computes the key of a multi-grid piece given its member grids
+  /// (all sharing one parent).
+  static MultiGridKey KeyFor(const Hierarchy& hierarchy,
+                             const std::vector<GridId>& grids);
+
+ private:
+  friend CombinationSearchResult SearchOptimalCombinations(
+      const Hierarchy&, const ScalePredictionSet&, const SearchOptions&);
+
+  // singles_[l-1]: row-major per layer.
+  std::vector<std::vector<GridBest>> singles_;
+  std::unordered_map<MultiGridKey, GridBest, MultiGridKeyHash> multi_;
+};
+
+/// \brief Runs the full offline search against validation predictions.
+CombinationSearchResult SearchOptimalCombinations(
+    const Hierarchy& hierarchy, const ScalePredictionSet& val_preds,
+    const SearchOptions& options);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_COMBINE_SEARCH_H_

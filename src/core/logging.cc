@@ -1,0 +1,57 @@
+#include "core/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace one4all {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  (void)level_;
+  std::cerr << stream_.str() << std::endl;
+}
+
+void FatalCheckFailure(const char* file, int line,
+                       const std::string& message) {
+  std::cerr << "[FATAL " << file << ":" << line << "] " << message
+            << std::endl;
+  std::abort();
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "Check failed: " << condition << " ";
+}
+
+FatalMessage::~FatalMessage() { FatalCheckFailure(file_, line_, stream_.str()); }
+
+}  // namespace internal
+
+}  // namespace one4all

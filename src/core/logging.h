@@ -1,0 +1,71 @@
+// Lightweight logging and invariant checking. O4A_CHECK* are for internal
+// invariants (programming errors); recoverable conditions must use Status.
+#ifndef ONE4ALL_CORE_LOGGING_H_
+#define ONE4ALL_CORE_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace one4all {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const std::string& message);
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define O4A_LOG(level)                                                    \
+  if (::one4all::LogLevel::level >= ::one4all::GetLogLevel())             \
+  ::one4all::internal::LogMessage(::one4all::LogLevel::level, __FILE__,   \
+                                  __LINE__)                               \
+      .stream()
+
+/// \brief Aborts with a diagnostic when `cond` is false. Always on (the
+/// cost is negligible next to the numeric kernels it guards).
+#define O4A_CHECK(cond)                                                  \
+  if (!(cond))                                                           \
+  ::one4all::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define O4A_CHECK_EQ(a, b) O4A_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define O4A_CHECK_NE(a, b) O4A_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define O4A_CHECK_LT(a, b) O4A_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define O4A_CHECK_LE(a, b) O4A_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define O4A_CHECK_GT(a, b) O4A_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define O4A_CHECK_GE(a, b) O4A_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+#define O4A_DCHECK(cond) O4A_CHECK(cond)
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_CORE_LOGGING_H_

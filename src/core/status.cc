@@ -1,0 +1,39 @@
+#include "core/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace one4all {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+namespace internal {
+void DieOnBadResult(const Status& st) {
+  std::fprintf(stderr, "FATAL: ValueOrDie on error result: %s\n",
+               st.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace one4all

@@ -1,0 +1,151 @@
+// Status / Result error model, following the Arrow/RocksDB idiom: public
+// APIs never throw; fallible operations return Status (or Result<T> when
+// they produce a value).
+#ifndef ONE4ALL_CORE_STATUS_H_
+#define ONE4ALL_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace one4all {
+
+/// \brief Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kNotImplemented,
+};
+
+/// \brief Returns a human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a message.
+///
+/// The success value is cheap to copy (no allocation); failures carry a
+/// heap-allocated message. Use the factory functions (Status::OK(),
+/// Status::InvalidArgument(...), ...) rather than the constructor.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or a failure Status.
+///
+/// Accessors mirror Arrow's Result: ok(), status(), ValueOrDie() (aborts on
+/// error — use only after checking ok()), and MoveValueUnsafe().
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : payload_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// \brief The failure status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// \brief The held value; aborts the process if this Result is an error.
+  const T& ValueOrDie() const&;
+  T& ValueOrDie() &;
+
+  /// \brief Moves the held value out. Undefined if !ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(payload_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& st);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const& {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+  return std::get<T>(payload_);
+}
+
+template <typename T>
+T& Result<T>::ValueOrDie() & {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+  return std::get<T>(payload_);
+}
+
+/// \brief Propagates a non-OK Status out of the enclosing function.
+#define O4A_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::one4all::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// \brief Assigns the value of a Result to `lhs`, or propagates its error.
+#define O4A_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto O4A_CONCAT_(_res_, __LINE__) = (rexpr);  \
+  if (!O4A_CONCAT_(_res_, __LINE__).ok())       \
+    return O4A_CONCAT_(_res_, __LINE__).status(); \
+  lhs = O4A_CONCAT_(_res_, __LINE__).MoveValueUnsafe()
+
+#define O4A_CONCAT_IMPL_(a, b) a##b
+#define O4A_CONCAT_(a, b) O4A_CONCAT_IMPL_(a, b)
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_CORE_STATUS_H_

@@ -1,0 +1,77 @@
+#include "core/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace one4all {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) O4A_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { separators_.push_back(rows_.size()); }
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  const size_t ncols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_[0].size()) : header_.size();
+  if (ncols == 0) return;
+
+  std::vector<size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < ncols; ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  size_t total = 1;
+  for (size_t w : width) total += w + 3;
+
+  auto rule = [&] { os << std::string(total, '-') << "\n"; };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell << std::string(width[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  if (!title_.empty()) os << "=== " << title_ << " ===\n";
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      rule();
+    }
+    emit(rows_[r]);
+  }
+  rule();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace one4all

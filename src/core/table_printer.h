@@ -1,0 +1,45 @@
+// Fixed-width text tables for the benchmark harness. Every experiment
+// binary prints paper-reported numbers next to measured numbers through
+// this class so outputs are uniform and diffable.
+#ifndef ONE4ALL_CORE_TABLE_PRINTER_H_
+#define ONE4ALL_CORE_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace one4all {
+
+/// \brief Accumulates rows of string cells and renders an aligned table.
+class TablePrinter {
+ public:
+  /// \param title Rendered above the table; empty string omits it.
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Inserts a horizontal rule before the next added row.
+  void AddSeparator();
+
+  /// \brief Formats a double with `precision` digits after the point.
+  static std::string Num(double value, int precision = 3);
+
+  /// \brief Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// \brief Renders the table to a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;  // row indices preceded by a rule
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_CORE_TABLE_PRINTER_H_

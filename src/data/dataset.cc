@@ -1,0 +1,207 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+namespace one4all {
+
+Result<STDataset> STDataset::Create(SyntheticFlows flows,
+                                    Hierarchy hierarchy,
+                                    TemporalFeatureSpec spec) {
+  if (flows.frames.empty()) {
+    return Status::InvalidArgument("no flow frames");
+  }
+  if (flows.frames[0].dim(0) != hierarchy.atomic_height() ||
+      flows.frames[0].dim(1) != hierarchy.atomic_width()) {
+    return Status::InvalidArgument("flow extents do not match hierarchy");
+  }
+  const int64_t total = static_cast<int64_t>(flows.frames.size());
+  if (spec.MinHistory() >= total) {
+    return Status::InvalidArgument(
+        "not enough timesteps for the requested history window");
+  }
+
+  STDataset ds;
+  ds.hierarchy_ = std::move(hierarchy);
+  ds.spec_ = spec;
+
+  // Aggregate every frame to every layer once, up front.
+  const int n_layers = ds.hierarchy_.num_layers();
+  ds.frames_.resize(static_cast<size_t>(n_layers));
+  ds.frames_[0] = std::move(flows.frames);
+  for (int l = 2; l <= n_layers; ++l) {
+    auto& layer_frames = ds.frames_[static_cast<size_t>(l - 1)];
+    layer_frames.reserve(static_cast<size_t>(total));
+    for (int64_t t = 0; t < total; ++t) {
+      layer_frames.push_back(
+          ds.hierarchy_.AggregateToLayer(ds.frames_[0][static_cast<size_t>(t)], l));
+    }
+  }
+
+  // Paper split: last 20% test, prior 10% validation, remainder train.
+  // Only slots with a full history window are usable samples.
+  const int64_t first = spec.MinHistory();
+  const int64_t usable = total - first;
+  const int64_t n_test = usable / 5;
+  const int64_t n_val = usable / 10;
+  const int64_t n_train = usable - n_test - n_val;
+  if (n_train <= 0 || n_val <= 0 || n_test <= 0) {
+    return Status::InvalidArgument("dataset too small to split");
+  }
+  for (int64_t i = 0; i < n_train; ++i) ds.train_.push_back(first + i);
+  for (int64_t i = 0; i < n_val; ++i) ds.val_.push_back(first + n_train + i);
+  for (int64_t i = 0; i < n_test; ++i) {
+    ds.test_.push_back(first + n_train + n_val + i);
+  }
+
+  // Per-layer stats over training slots (Eq. 11).
+  ds.stats_.resize(static_cast<size_t>(n_layers));
+  for (int l = 1; l <= n_layers; ++l) {
+    double sum = 0.0, sq = 0.0;
+    int64_t count = 0;
+    for (int64_t t : ds.train_) {
+      const Tensor& f = ds.frames_[static_cast<size_t>(l - 1)][static_cast<size_t>(t)];
+      for (int64_t i = 0; i < f.numel(); ++i) {
+        sum += f[i];
+        sq += static_cast<double>(f[i]) * f[i];
+        ++count;
+      }
+    }
+    const double mean = sum / static_cast<double>(count);
+    const double var =
+        std::max(1e-8, sq / static_cast<double>(count) - mean * mean);
+    ds.stats_[static_cast<size_t>(l - 1)] =
+        ScaleStats{static_cast<float>(mean),
+                   static_cast<float>(std::sqrt(var))};
+  }
+  return ds;
+}
+
+const Tensor& STDataset::FrameAtLayer(int64_t t, int layer) const {
+  O4A_CHECK(layer >= 1 && layer <= hierarchy_.num_layers());
+  O4A_CHECK(t >= 0 && t < num_timesteps());
+  return frames_[static_cast<size_t>(layer - 1)][static_cast<size_t>(t)];
+}
+
+const ScaleStats& STDataset::StatsOfLayer(int layer) const {
+  O4A_CHECK(layer >= 1 && layer <= hierarchy_.num_layers());
+  return stats_[static_cast<size_t>(layer - 1)];
+}
+
+Tensor STDataset::NormalizeLayer(const Tensor& x, int layer) const {
+  const ScaleStats& s = StatsOfLayer(layer);
+  return x.AddScalar(-s.mean).MulScalar(1.0f / s.stddev);
+}
+
+Tensor STDataset::DenormalizeLayer(const Tensor& x, int layer) const {
+  const ScaleStats& s = StatsOfLayer(layer);
+  return x.MulScalar(s.stddev).AddScalar(s.mean);
+}
+
+namespace {
+
+// Stacks normalized history frames into [N, len, H, W].
+Tensor StackHistory(const std::vector<Tensor>& frames,
+                    const std::vector<int64_t>& timesteps,
+                    const std::vector<int64_t>& offsets, float mean,
+                    float inv_std) {
+  const int64_t n = static_cast<int64_t>(timesteps.size());
+  const int64_t len = static_cast<int64_t>(offsets.size());
+  const int64_t h = frames[0].dim(0), w = frames[0].dim(1);
+  Tensor out({n, len, h, w});
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t k = 0; k < len; ++k) {
+      const int64_t t = timesteps[static_cast<size_t>(s)] -
+                        offsets[static_cast<size_t>(k)];
+      O4A_CHECK_GE(t, 0);
+      const Tensor& f = frames[static_cast<size_t>(t)];
+      float* dst = out.data() + (s * len + k) * h * w;
+      const float* src = f.data();
+      for (int64_t i = 0; i < h * w; ++i) {
+        dst[i] = (src[i] - mean) * inv_std;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TemporalInput STDataset::BuildInput(
+    const std::vector<int64_t>& timesteps) const {
+  const ScaleStats& s1 = StatsOfLayer(1);
+  const float inv_std = 1.0f / s1.stddev;
+  // Eq. 6: closeness = t-lc..t-1; period = daily offsets; trend = weekly.
+  std::vector<int64_t> closeness, period, trend;
+  for (int64_t i = spec_.closeness_len; i >= 1; --i) closeness.push_back(i);
+  for (int64_t i = spec_.period_len; i >= 1; --i) {
+    period.push_back(i * spec_.daily_interval);
+  }
+  for (int64_t i = spec_.trend_len; i >= 1; --i) {
+    trend.push_back(i * spec_.weekly_interval);
+  }
+  TemporalInput input;
+  input.closeness =
+      StackHistory(frames_[0], timesteps, closeness, s1.mean, inv_std);
+  input.period =
+      StackHistory(frames_[0], timesteps, period, s1.mean, inv_std);
+  input.trend = StackHistory(frames_[0], timesteps, trend, s1.mean, inv_std);
+  return input;
+}
+
+TemporalInput STDataset::BuildInputAtLayer(
+    const std::vector<int64_t>& timesteps, int layer) const {
+  O4A_CHECK(layer >= 1 && layer <= hierarchy_.num_layers());
+  const ScaleStats& st = StatsOfLayer(layer);
+  const float inv_std = 1.0f / st.stddev;
+  std::vector<int64_t> closeness, period, trend;
+  for (int64_t i = spec_.closeness_len; i >= 1; --i) closeness.push_back(i);
+  for (int64_t i = spec_.period_len; i >= 1; --i) {
+    period.push_back(i * spec_.daily_interval);
+  }
+  for (int64_t i = spec_.trend_len; i >= 1; --i) {
+    trend.push_back(i * spec_.weekly_interval);
+  }
+  const auto& frames = frames_[static_cast<size_t>(layer - 1)];
+  TemporalInput input;
+  input.closeness =
+      StackHistory(frames, timesteps, closeness, st.mean, inv_std);
+  input.period = StackHistory(frames, timesteps, period, st.mean, inv_std);
+  input.trend = StackHistory(frames, timesteps, trend, st.mean, inv_std);
+  return input;
+}
+
+Tensor STDataset::BuildTarget(const std::vector<int64_t>& timesteps,
+                              int layer, int normalize_with_layer) const {
+  const int stats_layer =
+      normalize_with_layer >= 1 ? normalize_with_layer : layer;
+  const ScaleStats& s = StatsOfLayer(stats_layer);
+  const float inv_std = 1.0f / s.stddev;
+  const auto& frames = frames_[static_cast<size_t>(layer - 1)];
+  const int64_t n = static_cast<int64_t>(timesteps.size());
+  const int64_t h = frames[0].dim(0), w = frames[0].dim(1);
+  Tensor out({n, 1, h, w});
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor& f = frames[static_cast<size_t>(timesteps[static_cast<size_t>(i)])];
+    float* dst = out.data() + i * h * w;
+    const float* src = f.data();
+    for (int64_t k = 0; k < h * w; ++k) dst[k] = (src[k] - s.mean) * inv_std;
+  }
+  return out;
+}
+
+Tensor STDataset::BuildRawTarget(const std::vector<int64_t>& timesteps,
+                                 int layer) const {
+  const auto& frames = frames_[static_cast<size_t>(layer - 1)];
+  const int64_t n = static_cast<int64_t>(timesteps.size());
+  const int64_t h = frames[0].dim(0), w = frames[0].dim(1);
+  Tensor out({n, 1, h, w});
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor& f = frames[static_cast<size_t>(timesteps[static_cast<size_t>(i)])];
+    float* dst = out.data() + i * h * w;
+    const float* src = f.data();
+    for (int64_t k = 0; k < h * w; ++k) dst[k] = src[k];
+  }
+  return out;
+}
+
+}  // namespace one4all

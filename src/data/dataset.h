@@ -1,0 +1,109 @@
+// Spatio-temporal dataset: wraps generated flows with the paper's temporal
+// feature construction (Eq. 6: closeness / period / trend), per-scale
+// aggregation over the hierarchy, train/val/test splits (70/10/20), and
+// the scale-normalization statistics of Eq. 11.
+#ifndef ONE4ALL_DATA_DATASET_H_
+#define ONE4ALL_DATA_DATASET_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "data/synthetic.h"
+#include "grid/hierarchy.h"
+#include "tensor/tensor.h"
+
+namespace one4all {
+
+/// \brief Temporal input selection (Eq. 6). The paper's default is 17
+/// observations: six closeness, seven daily, four weekly.
+struct TemporalFeatureSpec {
+  int64_t closeness_len = 6;
+  int64_t period_len = 7;
+  int64_t trend_len = 4;
+  int64_t daily_interval = 24;    ///< d: slots per day
+  int64_t weekly_interval = 168;  ///< w: slots per week
+
+  /// \brief Earliest time slot with a full history window.
+  int64_t MinHistory() const { return trend_len * weekly_interval; }
+  int64_t TotalObservations() const {
+    return closeness_len + period_len + trend_len;
+  }
+};
+
+/// \brief Per-scale normalization statistics (Eq. 11).
+struct ScaleStats {
+  float mean = 0.0f;
+  float stddev = 1.0f;
+};
+
+/// \brief One model input: the three temporal groups at the atomic scale.
+struct TemporalInput {
+  Tensor closeness;  ///< [N, lc, H, W]
+  Tensor period;     ///< [N, lp, H, W]
+  Tensor trend;      ///< [N, lt, H, W]
+};
+
+/// \brief Dataset over a hierarchical grid.
+class STDataset {
+ public:
+  /// \brief Takes ownership of the flows. Splits follow the paper: last
+  /// 20% test, previous 10% validation, remaining 70% train.
+  static Result<STDataset> Create(SyntheticFlows flows, Hierarchy hierarchy,
+                                  TemporalFeatureSpec spec);
+
+  const Hierarchy& hierarchy() const { return hierarchy_; }
+  const TemporalFeatureSpec& spec() const { return spec_; }
+  int64_t num_timesteps() const {
+    return static_cast<int64_t>(frames_[0].size());
+  }
+
+  const std::vector<int64_t>& train_indices() const { return train_; }
+  const std::vector<int64_t>& val_indices() const { return val_; }
+  const std::vector<int64_t>& test_indices() const { return test_; }
+
+  /// \brief Raw (unnormalized) frame at layer l, time t: [Hl, Wl].
+  const Tensor& FrameAtLayer(int64_t t, int layer) const;
+
+  /// \brief Normalization stats of a layer, computed on training slots
+  /// only (Eq. 11).
+  const ScaleStats& StatsOfLayer(int layer) const;
+
+  /// \brief (x - mean_l) / std_l elementwise.
+  Tensor NormalizeLayer(const Tensor& x, int layer) const;
+  /// \brief Inverse of NormalizeLayer.
+  Tensor DenormalizeLayer(const Tensor& x, int layer) const;
+
+  /// \brief Assembles normalized atomic-scale inputs for a batch of time
+  /// slots (history windows are normalized with layer-1 stats).
+  TemporalInput BuildInput(const std::vector<int64_t>& timesteps) const;
+
+  /// \brief Like BuildInput but over layer `layer`'s raster, normalized
+  /// with that layer's stats. Used by per-scale baselines (M-ST-ResNet,
+  /// M-STRN) whose inputs live on the aggregated raster.
+  TemporalInput BuildInputAtLayer(const std::vector<int64_t>& timesteps,
+                                  int layer) const;
+
+  /// \brief Normalized targets at layer l for a batch: [N, 1, Hl, Wl].
+  /// When `normalize_with_layer` >= 1, that layer's stats are used instead
+  /// of layer l's (the w/o-SN ablation applies layer 1's stats everywhere).
+  Tensor BuildTarget(const std::vector<int64_t>& timesteps, int layer,
+                     int normalize_with_layer = -1) const;
+
+  /// \brief Raw targets at layer l for a batch: [N, 1, Hl, Wl].
+  Tensor BuildRawTarget(const std::vector<int64_t>& timesteps,
+                        int layer) const;
+
+ private:
+  STDataset() = default;
+
+  Hierarchy hierarchy_;
+  TemporalFeatureSpec spec_;
+  // frames_[l-1][t]: flow at layer l, time t.
+  std::vector<std::vector<Tensor>> frames_;
+  std::vector<ScaleStats> stats_;
+  std::vector<int64_t> train_, val_, test_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_DATA_DATASET_H_

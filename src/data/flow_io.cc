@@ -1,0 +1,86 @@
+#include "data/flow_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace one4all {
+
+namespace {
+constexpr char kMagic[8] = {'O', '4', 'A', 'F', 'L', 'O', 'W', '1'};
+}  // namespace
+
+Status SaveFlows(const SyntheticFlows& flows, const std::string& path) {
+  if (flows.frames.empty()) {
+    return Status::InvalidArgument("no frames to save");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  const int64_t t = static_cast<int64_t>(flows.frames.size());
+  const int64_t h = flows.frames[0].dim(0);
+  const int64_t w = flows.frames[0].dim(1);
+  std::fwrite(kMagic, 1, sizeof(kMagic), f);
+  std::fwrite(&t, sizeof(t), 1, f);
+  std::fwrite(&h, sizeof(h), 1, f);
+  std::fwrite(&w, sizeof(w), 1, f);
+  std::fwrite(&flows.steps_per_day, sizeof(flows.steps_per_day), 1, f);
+  std::fwrite(flows.base_rate.data(), sizeof(float),
+              static_cast<size_t>(h * w), f);
+  for (const Tensor& frame : flows.frames) {
+    if (frame.dim(0) != h || frame.dim(1) != w) {
+      std::fclose(f);
+      return Status::InvalidArgument("inconsistent frame extents");
+    }
+    if (std::fwrite(frame.data(), sizeof(float),
+                    static_cast<size_t>(h * w),
+                    f) != static_cast<size_t>(h * w)) {
+      std::fclose(f);
+      return Status::IOError("short write: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<SyntheticFlows> LoadFlows(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("not a flow file: " + path);
+  }
+  int64_t t = 0, h = 0, w = 0, spd = 0;
+  if (std::fread(&t, sizeof(t), 1, f) != 1 ||
+      std::fread(&h, sizeof(h), 1, f) != 1 ||
+      std::fread(&w, sizeof(w), 1, f) != 1 ||
+      std::fread(&spd, sizeof(spd), 1, f) != 1 || t <= 0 || h <= 0 ||
+      w <= 0 || spd <= 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("corrupt flow header: " + path);
+  }
+  SyntheticFlows flows;
+  flows.steps_per_day = spd;
+  flows.base_rate = Tensor({h, w});
+  if (std::fread(flows.base_rate.data(), sizeof(float),
+                 static_cast<size_t>(h * w),
+                 f) != static_cast<size_t>(h * w)) {
+    std::fclose(f);
+    return Status::IOError("truncated flow file: " + path);
+  }
+  flows.frames.reserve(static_cast<size_t>(t));
+  for (int64_t i = 0; i < t; ++i) {
+    Tensor frame({h, w});
+    if (std::fread(frame.data(), sizeof(float),
+                   static_cast<size_t>(h * w),
+                   f) != static_cast<size_t>(h * w)) {
+      std::fclose(f);
+      return Status::IOError("truncated flow file: " + path);
+    }
+    flows.frames.push_back(std::move(frame));
+  }
+  std::fclose(f);
+  return flows;
+}
+
+}  // namespace one4all

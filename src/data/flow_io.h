@@ -1,0 +1,22 @@
+// Binary persistence for generated flow datasets, so the CLI can split
+// the generate / train / serve stages across processes (the paper's
+// Hive-backed training store, reduced to a file).
+#ifndef ONE4ALL_DATA_FLOW_IO_H_
+#define ONE4ALL_DATA_FLOW_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "data/synthetic.h"
+
+namespace one4all {
+
+/// \brief Writes flows to `path` (magic + geometry + raw frames).
+Status SaveFlows(const SyntheticFlows& flows, const std::string& path);
+
+/// \brief Reads flows written by SaveFlows.
+Result<SyntheticFlows> LoadFlows(const std::string& path);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_DATA_FLOW_IO_H_

@@ -1,0 +1,57 @@
+// Synthetic spatio-temporal workload generator: the stand-in for the
+// paper's Taxi NYC trips and DiDi freight orders (see DESIGN.md).
+//
+// Flows are Poisson counts around a rate surface
+//   rate(r,c,t) = base(r,c) * daily(t; phase(r,c)) * weekly(t) * burst(t)
+// where base is a mixture of Gaussian hotspots over a low background,
+// daily is a two-peak (am/pm) profile whose mix varies by cell (spatial
+// heterogeneity -> scale-dependent predictability), weekly damps weekends,
+// and rare bursts inject anomalies. Two presets mimic the two datasets:
+// dense high-volume "taxi" and sparse "freight".
+#ifndef ONE4ALL_DATA_SYNTHETIC_H_
+#define ONE4ALL_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace one4all {
+
+struct SyntheticDataOptions {
+  int64_t height = 32;
+  int64_t width = 32;
+  int64_t num_timesteps = 24 * 28;  ///< four weeks of hourly data
+  int64_t steps_per_day = 24;
+  int64_t num_hotspots = 8;
+  double background_rate = 0.4;   ///< mean flow of a cold cell at off-peak
+  double hotspot_peak = 18.0;     ///< extra mean flow at a hotspot center
+  double hotspot_sigma_cells = 3.0;
+  double weekend_factor = 0.7;    ///< weekly damping on days 6-7
+  double burst_probability = 0.005;  ///< per-step chance of a city event
+  double burst_multiplier = 2.5;
+  double observation_noise = 0.05;   ///< lognormal-ish rate jitter
+  uint64_t seed = 2024;
+
+  /// \brief Dense, high-volume workload (Taxi NYC analogue).
+  static SyntheticDataOptions TaxiPreset(int64_t h, int64_t w);
+  /// \brief Sparse, low-volume workload (Freight Transport analogue).
+  static SyntheticDataOptions FreightPreset(int64_t h, int64_t w);
+};
+
+/// \brief Generated citywide flows: one [H,W] tensor per time slot
+/// (Definition 3 with C = 1 flow measurement).
+struct SyntheticFlows {
+  std::vector<Tensor> frames;     ///< length T, each [H,W]
+  Tensor base_rate;               ///< [H,W] time-invariant rate surface
+  int64_t steps_per_day = 24;
+};
+
+/// \brief Generates flows; validates options.
+Result<SyntheticFlows> GenerateSyntheticFlows(
+    const SyntheticDataOptions& options);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_DATA_SYNTHETIC_H_

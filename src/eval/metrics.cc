@@ -1,0 +1,60 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace one4all {
+
+void MetricAccumulator::Add(double predicted, double truth) {
+  const double diff = predicted - truth;
+  sq_sum_ += diff * diff;
+  abs_sum_ += std::fabs(diff);
+  ++count_;
+  if (truth >= mape_threshold_) {
+    ape_sum_ += std::fabs(diff) / truth;
+    ++mape_count_;
+  }
+}
+
+void MetricAccumulator::Merge(const MetricAccumulator& other) {
+  sq_sum_ += other.sq_sum_;
+  abs_sum_ += other.abs_sum_;
+  ape_sum_ += other.ape_sum_;
+  count_ += other.count_;
+  mape_count_ += other.mape_count_;
+}
+
+double MetricAccumulator::Rmse() const {
+  if (count_ == 0) return 0.0;
+  return std::sqrt(sq_sum_ / static_cast<double>(count_));
+}
+
+double MetricAccumulator::Mape() const {
+  if (mape_count_ == 0) return 0.0;
+  return ape_sum_ / static_cast<double>(mape_count_);
+}
+
+double MetricAccumulator::Mae() const {
+  if (count_ == 0) return 0.0;
+  return abs_sum_ / static_cast<double>(count_);
+}
+
+double Autocorrelation(const std::vector<float>& series, int64_t lag) {
+  O4A_CHECK_GT(lag, 0);
+  const int64_t n = static_cast<int64_t>(series.size());
+  if (n <= lag + 1) return 0.0;
+  double mean = 0.0;
+  for (float v : series) mean += v;
+  mean /= static_cast<double>(n);
+  double num = 0.0, den = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = series[static_cast<size_t>(i)] - mean;
+    den += d * d;
+    if (i + lag < n) {
+      num += d * (series[static_cast<size_t>(i + lag)] - mean);
+    }
+  }
+  if (den <= 1e-12) return 0.0;
+  return num / den;
+}
+
+}  // namespace one4all

@@ -1,0 +1,46 @@
+// Evaluation metrics (paper Sec. V-A2): RMSE, MAPE, MAE over paired
+// prediction/truth samples, plus the auto-correlation-function (ACF)
+// predictability proxy used in Fig. 10.
+#ifndef ONE4ALL_EVAL_METRICS_H_
+#define ONE4ALL_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/logging.h"
+
+namespace one4all {
+
+/// \brief Streaming accumulator for RMSE / MAPE / MAE.
+///
+/// MAPE skips samples whose truth is below `mape_threshold` — the
+/// standard guard against division blow-ups on near-zero flows.
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(double mape_threshold = 1.0)
+      : mape_threshold_(mape_threshold) {}
+
+  void Add(double predicted, double truth);
+  void Merge(const MetricAccumulator& other);
+
+  double Rmse() const;
+  double Mape() const;
+  double Mae() const;
+  int64_t count() const { return count_; }
+
+ private:
+  double mape_threshold_;
+  double sq_sum_ = 0.0;
+  double abs_sum_ = 0.0;
+  double ape_sum_ = 0.0;
+  int64_t count_ = 0;
+  int64_t mape_count_ = 0;
+};
+
+/// \brief Lag-`lag` autocorrelation of a series (Fig. 10's
+/// predictability proxy; the paper uses the daily lag).
+/// Returns 0 for degenerate (constant) series.
+double Autocorrelation(const std::vector<float>& series, int64_t lag);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_EVAL_METRICS_H_

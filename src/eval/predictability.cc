@@ -1,0 +1,90 @@
+#include "eval/predictability.h"
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace one4all {
+
+namespace {
+
+std::vector<float> GridSeries(const STDataset& dataset, int layer,
+                              int64_t row, int64_t col) {
+  const auto& train = dataset.train_indices();
+  std::vector<float> series;
+  series.reserve(train.size());
+  for (int64_t t : train) {
+    series.push_back(dataset.FrameAtLayer(t, layer).at(row, col));
+  }
+  return series;
+}
+
+}  // namespace
+
+std::vector<ScalePredictability> MeanAcfPerScale(const STDataset& dataset,
+                                                 int64_t lag) {
+  if (lag <= 0) lag = dataset.spec().daily_interval;
+  std::vector<ScalePredictability> out;
+  for (int l = 1; l <= dataset.hierarchy().num_layers(); ++l) {
+    const LayerInfo& info = dataset.hierarchy().layer(l);
+    double sum = 0.0, sq = 0.0;
+    int64_t count = 0;
+    for (int64_t r = 0; r < info.height; ++r) {
+      for (int64_t c = 0; c < info.width; ++c) {
+        const double acf =
+            Autocorrelation(GridSeries(dataset, l, r, c), lag);
+        sum += acf;
+        sq += acf * acf;
+        ++count;
+      }
+    }
+    ScalePredictability sp;
+    sp.layer = l;
+    sp.scale = info.scale;
+    sp.num_grids = count;
+    if (count > 0) {
+      sp.mean_acf = sum / static_cast<double>(count);
+      const double var =
+          std::max(0.0, sq / static_cast<double>(count) -
+                            sp.mean_acf * sp.mean_acf);
+      sp.stddev_acf = std::sqrt(var);
+    }
+    out.push_back(sp);
+  }
+  return out;
+}
+
+double FlowVsAcfCorrelation(const STDataset& dataset, int64_t lag) {
+  if (lag <= 0) lag = dataset.spec().daily_interval;
+  const LayerInfo& info = dataset.hierarchy().layer(1);
+  std::vector<double> flows, acfs;
+  for (int64_t r = 0; r < info.height; ++r) {
+    for (int64_t c = 0; c < info.width; ++c) {
+      const std::vector<float> series = GridSeries(dataset, 1, r, c);
+      double mean = 0.0;
+      for (float v : series) mean += v;
+      mean /= static_cast<double>(series.size());
+      flows.push_back(mean);
+      acfs.push_back(Autocorrelation(series, lag));
+    }
+  }
+  // Pearson correlation.
+  const size_t n = flows.size();
+  double mf = 0.0, ma = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mf += flows[i];
+    ma += acfs[i];
+  }
+  mf /= static_cast<double>(n);
+  ma /= static_cast<double>(n);
+  double num = 0.0, df = 0.0, da = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    num += (flows[i] - mf) * (acfs[i] - ma);
+    df += (flows[i] - mf) * (flows[i] - mf);
+    da += (acfs[i] - ma) * (acfs[i] - ma);
+  }
+  if (df <= 1e-12 || da <= 1e-12) return 0.0;
+  return num / std::sqrt(df * da);
+}
+
+}  // namespace one4all

@@ -1,0 +1,32 @@
+// Scale-vs-predictability analysis (paper Fig. 10 left): mean ACF of grid
+// flow series per hierarchy scale, computed on the training split.
+#ifndef ONE4ALL_EVAL_PREDICTABILITY_H_
+#define ONE4ALL_EVAL_PREDICTABILITY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace one4all {
+
+struct ScalePredictability {
+  int layer = 1;
+  int64_t scale = 1;
+  double mean_acf = 0.0;
+  double stddev_acf = 0.0;  ///< dispersion across grids (Fig. 10's band)
+  int64_t num_grids = 0;
+};
+
+/// \brief Mean lag-`lag` ACF per scale over all grids with non-degenerate
+/// series (default lag = one day, the paper's choice).
+std::vector<ScalePredictability> MeanAcfPerScale(const STDataset& dataset,
+                                                 int64_t lag = 0);
+
+/// \brief Correlation between a grid's mean flow volume and its ACF at the
+/// atomic scale — the paper's "high-flow areas are more predictable"
+/// observation (Fig. 10 left, flows axis).
+double FlowVsAcfCorrelation(const STDataset& dataset, int64_t lag = 0);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_EVAL_PREDICTABILITY_H_

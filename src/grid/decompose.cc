@@ -1,0 +1,128 @@
+#include "grid/decompose.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace one4all {
+
+GridMask DecomposedPiece::Mask(const Hierarchy& hierarchy) const {
+  GridMask mask(hierarchy.atomic_height(), hierarchy.atomic_width());
+  for (const GridId& g : grids) {
+    const CellRect rect = hierarchy.CellsOf(g);
+    mask.FillRect(rect.r0, rect.c0, rect.r1, rect.c1);
+  }
+  return mask;
+}
+
+namespace {
+
+// Match(R, S) from Algorithm 1: all grids of layer `l` fully contained in
+// the remaining region, grouped into edge-connected components that share
+// the same parent grid. At the coarsest layer each matched grid is its own
+// component.
+std::vector<std::vector<GridId>> Match(const Hierarchy& hierarchy,
+                                       const GridMask& remaining, int l) {
+  const LayerInfo& info = hierarchy.layer(l);
+  const int64_t lh = info.height, lw = info.width;
+  std::vector<uint8_t> matched(static_cast<size_t>(lh * lw), 0);
+  for (int64_t r = 0; r < lh; ++r) {
+    for (int64_t c = 0; c < lw; ++c) {
+      if (hierarchy.GridInsideRegion(remaining, GridId{l, r, c})) {
+        matched[static_cast<size_t>(r * lw + c)] = 1;
+      }
+    }
+  }
+
+  const bool has_parent = l < hierarchy.num_layers();
+  std::vector<std::vector<GridId>> components;
+  std::vector<uint8_t> visited(static_cast<size_t>(lh * lw), 0);
+  for (int64_t r = 0; r < lh; ++r) {
+    for (int64_t c = 0; c < lw; ++c) {
+      const size_t idx = static_cast<size_t>(r * lw + c);
+      if (!matched[idx] || visited[idx]) continue;
+      if (!has_parent) {
+        // Coarsest layer: no shared parent exists; emit singles.
+        visited[idx] = 1;
+        components.push_back({GridId{l, r, c}});
+        continue;
+      }
+      // BFS restricted to edge-adjacent grids with the same parent.
+      const GridId start{l, r, c};
+      const GridId parent = hierarchy.ParentOf(start);
+      std::vector<GridId> comp;
+      std::queue<GridId> frontier;
+      frontier.push(start);
+      visited[idx] = 1;
+      while (!frontier.empty()) {
+        const GridId cur = frontier.front();
+        frontier.pop();
+        comp.push_back(cur);
+        const int64_t dr[] = {-1, 1, 0, 0};
+        const int64_t dc[] = {0, 0, -1, 1};
+        for (int k = 0; k < 4; ++k) {
+          const int64_t nr = cur.row + dr[k], nc = cur.col + dc[k];
+          if (nr < 0 || nr >= lh || nc < 0 || nc >= lw) continue;
+          const size_t nidx = static_cast<size_t>(nr * lw + nc);
+          if (!matched[nidx] || visited[nidx]) continue;
+          const GridId next{l, nr, nc};
+          if (!(hierarchy.ParentOf(next) == parent)) continue;
+          visited[nidx] = 1;
+          frontier.push(next);
+        }
+      }
+      std::sort(comp.begin(), comp.end(), [](const GridId& a, const GridId& b) {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+      });
+      components.push_back(std::move(comp));
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+std::vector<DecomposedPiece> HierarchicalDecompose(const Hierarchy& hierarchy,
+                                                   const GridMask& region) {
+  O4A_CHECK_EQ(region.height(), hierarchy.atomic_height());
+  O4A_CHECK_EQ(region.width(), hierarchy.atomic_width());
+  std::vector<DecomposedPiece> pieces;
+  GridMask remaining = region;
+  for (int l = hierarchy.num_layers(); l >= 1; --l) {
+    if (remaining.Empty()) break;
+    for (auto& comp : Match(hierarchy, remaining, l)) {
+      DecomposedPiece piece;
+      piece.layer = l;
+      piece.grids = std::move(comp);
+      for (const GridId& g : piece.grids) {
+        const CellRect rect = hierarchy.CellsOf(g);
+        remaining.ClearRect(rect.r0, rect.c0, rect.r1, rect.c1);
+      }
+      pieces.push_back(std::move(piece));
+    }
+  }
+  O4A_CHECK(remaining.Empty())
+      << "Algorithm 1 must fully decompose the region";
+  return pieces;
+}
+
+bool ValidateDecomposition(const Hierarchy& hierarchy, const GridMask& region,
+                           const std::vector<DecomposedPiece>& pieces) {
+  GridMask acc(hierarchy.atomic_height(), hierarchy.atomic_width());
+  for (const DecomposedPiece& piece : pieces) {
+    const GridMask m = piece.Mask(hierarchy);
+    if (acc.Intersects(m)) return false;  // overlap
+    acc = acc.Union(m);
+    // No piece may be mergeable into a coarser grid: a full set of K^2
+    // siblings would contradict Algorithm 1's coarse-to-fine order.
+    if (piece.layer < hierarchy.num_layers()) {
+      const GridId parent = hierarchy.ParentOf(piece.grids[0]);
+      if (piece.grids.size() ==
+          hierarchy.ChildrenOf(parent).size()) {
+        return false;
+      }
+    }
+  }
+  return acc == region;
+}
+
+}  // namespace one4all

@@ -1,0 +1,45 @@
+// Algorithm 1 (Hierarchical Decomposition): splits an arbitrary rasterized
+// region into hierarchical grid pieces coarse-to-fine, so that no piece can
+// be merged into a coarser grid (the precondition of Theorem 4.1).
+//
+// A piece is either a single grid or a "multi-grid": a set of
+// edge-adjacent grids of one layer sharing the same parent (at most K^2-1
+// of them, since a full window would have matched one layer up). Grids of
+// the coarsest layer are always emitted individually (they have no shared
+// parent to group under).
+#ifndef ONE4ALL_GRID_DECOMPOSE_H_
+#define ONE4ALL_GRID_DECOMPOSE_H_
+
+#include <vector>
+
+#include "grid/hierarchy.h"
+#include "grid/mask.h"
+
+namespace one4all {
+
+/// \brief One decomposed piece: grids of a single layer, edge-connected,
+/// sharing one parent (except at the coarsest layer, where size() == 1).
+struct DecomposedPiece {
+  int layer = 1;
+  std::vector<GridId> grids;
+
+  bool IsMultiGrid() const { return grids.size() > 1; }
+
+  /// \brief Atomic mask covered by the piece.
+  GridMask Mask(const Hierarchy& hierarchy) const;
+};
+
+/// \brief Runs Algorithm 1 on `region`. The returned pieces are pairwise
+/// disjoint and their union equals the region exactly.
+std::vector<DecomposedPiece> HierarchicalDecompose(const Hierarchy& hierarchy,
+                                                   const GridMask& region);
+
+/// \brief Verifies the Algorithm 1 postcondition (used by tests and the
+/// query server's self-checks): pieces are disjoint, cover the region, and
+/// no piece could be merged into a coarser grid.
+bool ValidateDecomposition(const Hierarchy& hierarchy, const GridMask& region,
+                           const std::vector<DecomposedPiece>& pieces);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_GRID_DECOMPOSE_H_

@@ -1,0 +1,186 @@
+#include "grid/hierarchy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace one4all {
+
+std::string GridId::ToString() const {
+  std::ostringstream oss;
+  oss << "L" << layer << "(" << row << "," << col << ")";
+  return oss.str();
+}
+
+Result<Hierarchy> Hierarchy::Create(int64_t h, int64_t w,
+                                    std::vector<int64_t> windows) {
+  if (h <= 0 || w <= 0) {
+    return Status::InvalidArgument("raster extents must be positive");
+  }
+  Hierarchy hier;
+  hier.layers_.push_back(LayerInfo{h, w, 1, 1});
+  for (int64_t k : windows) {
+    if (k < 2) {
+      return Status::InvalidArgument("merging window must be >= 2");
+    }
+    const LayerInfo& prev = hier.layers_.back();
+    LayerInfo next;
+    next.window = k;
+    next.height = (prev.height + k - 1) / k;
+    next.width = (prev.width + k - 1) / k;
+    next.scale = prev.scale * k;
+    if (next.height < 1 || next.width < 1) {
+      return Status::InvalidArgument("layer collapses to zero grids");
+    }
+    if (prev.height == 1 && prev.width == 1) {
+      return Status::InvalidArgument(
+          "cannot merge a 1x1 layer further (degenerate hierarchy)");
+    }
+    hier.layers_.push_back(next);
+  }
+  return hier;
+}
+
+Hierarchy Hierarchy::Uniform(int64_t h, int64_t w, int64_t k,
+                             int64_t max_scale) {
+  O4A_CHECK_GE(k, 2);
+  std::vector<int64_t> windows;
+  int64_t scale = 1;
+  int64_t hh = h, ww = w;
+  while (scale * k <= max_scale && (hh > 1 || ww > 1)) {
+    windows.push_back(k);
+    scale *= k;
+    hh = (hh + k - 1) / k;
+    ww = (ww + k - 1) / k;
+  }
+  auto result = Create(h, w, std::move(windows));
+  O4A_CHECK(result.ok()) << result.status().ToString();
+  return result.MoveValueUnsafe();
+}
+
+std::vector<int64_t> Hierarchy::Scales() const {
+  std::vector<int64_t> out;
+  out.reserve(layers_.size());
+  for (const LayerInfo& l : layers_) out.push_back(l.scale);
+  return out;
+}
+
+int64_t Hierarchy::TotalGrids() const {
+  int64_t total = 0;
+  for (const LayerInfo& l : layers_) total += l.height * l.width;
+  return total;
+}
+
+CellRect Hierarchy::CellsOf(const GridId& id) const {
+  const LayerInfo& info = layer(id.layer);
+  O4A_CHECK(id.row >= 0 && id.row < info.height && id.col >= 0 &&
+            id.col < info.width)
+      << "grid out of range: " << id.ToString();
+  CellRect rect;
+  rect.r0 = id.row * info.scale;
+  rect.c0 = id.col * info.scale;
+  rect.r1 = std::min(rect.r0 + info.scale, atomic_height());
+  rect.c1 = std::min(rect.c0 + info.scale, atomic_width());
+  return rect;
+}
+
+GridId Hierarchy::ParentOf(const GridId& id) const {
+  O4A_CHECK_LT(id.layer, num_layers());
+  const int64_t k = layer(id.layer + 1).window;
+  return GridId{id.layer + 1, id.row / k, id.col / k};
+}
+
+std::vector<GridId> Hierarchy::ChildrenOf(const GridId& id) const {
+  O4A_CHECK_GT(id.layer, 1);
+  const LayerInfo& info = layer(id.layer);
+  const LayerInfo& fine = layer(id.layer - 1);
+  const int64_t k = info.window;
+  std::vector<GridId> children;
+  for (int64_t dr = 0; dr < k; ++dr) {
+    for (int64_t dc = 0; dc < k; ++dc) {
+      const int64_t r = id.row * k + dr;
+      const int64_t c = id.col * k + dc;
+      if (r < fine.height && c < fine.width) {
+        children.push_back(GridId{id.layer - 1, r, c});
+      }
+    }
+  }
+  return children;
+}
+
+bool Hierarchy::GridInsideRegion(const GridMask& region,
+                                 const GridId& id) const {
+  const CellRect rect = CellsOf(id);
+  if (rect.Area() == 0) return false;
+  return region.ContainsRect(rect.r0, rect.c0, rect.r1, rect.c1);
+}
+
+Tensor Hierarchy::AggregateToLayer(const Tensor& atomic, int l) const {
+  O4A_CHECK_EQ(atomic.ndim(), 2u);
+  O4A_CHECK_EQ(atomic.dim(0), atomic_height());
+  O4A_CHECK_EQ(atomic.dim(1), atomic_width());
+  const LayerInfo& info = layer(l);
+  Tensor out({info.height, info.width});
+  for (int64_t r = 0; r < info.height; ++r) {
+    for (int64_t c = 0; c < info.width; ++c) {
+      const CellRect rect = CellsOf(GridId{l, r, c});
+      double acc = 0.0;
+      for (int64_t i = rect.r0; i < rect.r1; ++i) {
+        for (int64_t j = rect.c0; j < rect.c1; ++j) {
+          acc += atomic.at(i, j);
+        }
+      }
+      out.at(r, c) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Hierarchy::AggregateBatchToLayer(const Tensor& atomic, int l) const {
+  O4A_CHECK_EQ(atomic.ndim(), 4u);
+  O4A_CHECK_EQ(atomic.dim(2), atomic_height());
+  O4A_CHECK_EQ(atomic.dim(3), atomic_width());
+  const LayerInfo& info = layer(l);
+  const int64_t n = atomic.dim(0), ch = atomic.dim(1);
+  Tensor out({n, ch, info.height, info.width});
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ci = 0; ci < ch; ++ci) {
+      for (int64_t r = 0; r < info.height; ++r) {
+        for (int64_t c = 0; c < info.width; ++c) {
+          const CellRect rect = CellsOf(GridId{l, r, c});
+          double acc = 0.0;
+          for (int64_t i = rect.r0; i < rect.r1; ++i) {
+            for (int64_t j = rect.c0; j < rect.c1; ++j) {
+              acc += atomic.at(s, ci, i, j);
+            }
+          }
+          out.at(s, ci, r, c) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+GridMask Hierarchy::MaskOf(const GridId& id) const {
+  GridMask mask(atomic_height(), atomic_width());
+  const CellRect rect = CellsOf(id);
+  mask.FillRect(rect.r0, rect.c0, rect.r1, rect.c1);
+  return mask;
+}
+
+std::string Hierarchy::ToString() const {
+  std::ostringstream oss;
+  oss << "Hierarchy P={";
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i) oss << ",";
+    oss << layers_[i].scale;
+  }
+  oss << "} layers:";
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    oss << " L" << (i + 1) << "=" << layers_[i].height << "x"
+        << layers_[i].width;
+  }
+  return oss.str();
+}
+
+}  // namespace one4all

@@ -1,0 +1,111 @@
+// Hierarchical grids (Definitions 1 and 2): an atomic H x W raster plus a
+// pyramid of coarser layers obtained by K x K merging windows. Supports
+// non-divisible extents via ceil-division (zero-padded coarse cells at the
+// border), which the paper's 3x3 variant relies on.
+#ifndef ONE4ALL_GRID_HIERARCHY_H_
+#define ONE4ALL_GRID_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "grid/mask.h"
+#include "tensor/tensor.h"
+
+namespace one4all {
+
+/// \brief Identifies one grid cell in the hierarchy.
+///
+/// `layer` is 1-based as in the paper (Layer 1 = atomic raster); row/col
+/// index into that layer's raster.
+struct GridId {
+  int layer = 1;
+  int64_t row = 0;
+  int64_t col = 0;
+
+  bool operator==(const GridId& other) const {
+    return layer == other.layer && row == other.row && col == other.col;
+  }
+  std::string ToString() const;
+};
+
+/// \brief Atomic-cell rectangle [r0,r1) x [c0,c1) covered by a grid.
+struct CellRect {
+  int64_t r0 = 0, c0 = 0, r1 = 0, c1 = 0;
+  int64_t Area() const { return (r1 - r0) * (c1 - c0); }
+};
+
+/// \brief Geometry of one layer.
+struct LayerInfo {
+  int64_t height = 0;     ///< grids per column at this layer
+  int64_t width = 0;      ///< grids per row at this layer
+  int64_t scale = 1;      ///< xi_l: atomic cells per grid side (Def. 1)
+  int64_t window = 1;     ///< K used to merge from the previous layer
+};
+
+/// \brief The hierarchical grid structure P (Definition 2).
+class Hierarchy {
+ public:
+  /// \brief Empty hierarchy; usable only as a placeholder before
+  /// assignment from Create()/Uniform().
+  Hierarchy() = default;
+
+  /// \brief Builds a hierarchy over an `h` x `w` atomic raster.
+  /// \param windows Merging window size per added layer; e.g. {2,2,2,2,2}
+  ///        yields P = {1,2,4,8,16,32}. Must all be >= 2, and each layer
+  ///        must keep at least one grid.
+  static Result<Hierarchy> Create(int64_t h, int64_t w,
+                                  std::vector<int64_t> windows);
+
+  /// \brief Convenience: uniform window `k` until either extent collapses
+  /// to 1 or `max_scale` is reached.
+  static Hierarchy Uniform(int64_t h, int64_t w, int64_t k,
+                           int64_t max_scale);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const LayerInfo& layer(int l) const {
+    O4A_CHECK(l >= 1 && l <= num_layers());
+    return layers_[static_cast<size_t>(l - 1)];
+  }
+  int64_t atomic_height() const { return layers_[0].height; }
+  int64_t atomic_width() const { return layers_[0].width; }
+
+  /// \brief The scale set P, e.g. {1,2,4,8,16,32}.
+  std::vector<int64_t> Scales() const;
+
+  /// \brief Total number of grids across all layers.
+  int64_t TotalGrids() const;
+
+  /// \brief Atomic-cell rectangle covered by a grid, clamped to the raster
+  /// (border grids of padded layers cover fewer atomic cells).
+  CellRect CellsOf(const GridId& id) const;
+
+  /// \brief Parent grid in the next coarser layer. Requires layer < n.
+  GridId ParentOf(const GridId& id) const;
+
+  /// \brief Children in the next finer layer (row-major order). Children
+  /// that fall entirely outside the atomic raster are omitted.
+  std::vector<GridId> ChildrenOf(const GridId& id) const;
+
+  /// \brief True iff the grid's (non-empty) cell rectangle is fully inside
+  /// the region mask.
+  bool GridInsideRegion(const GridMask& region, const GridId& id) const;
+
+  /// \brief Sum-pools an atomic [H,W] field to layer `l` -> [Hl,Wl].
+  Tensor AggregateToLayer(const Tensor& atomic, int l) const;
+
+  /// \brief Sum-pools a batched [N,C,H,W] tensor to layer `l`.
+  Tensor AggregateBatchToLayer(const Tensor& atomic, int l) const;
+
+  /// \brief Mask covering exactly the atomic cells of `id`.
+  GridMask MaskOf(const GridId& id) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<LayerInfo> layers_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_GRID_HIERARCHY_H_

@@ -1,0 +1,148 @@
+#include "grid/mask.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace one4all {
+
+int64_t GridMask::Count() const {
+  return std::accumulate(cells_.begin(), cells_.end(), int64_t{0},
+                         [](int64_t acc, uint8_t v) { return acc + v; });
+}
+
+void GridMask::FillRect(int64_t r0, int64_t c0, int64_t r1, int64_t c1) {
+  O4A_CHECK(r0 >= 0 && c0 >= 0 && r1 <= h_ && c1 <= w_ && r0 <= r1 &&
+            c0 <= c1);
+  for (int64_t r = r0; r < r1; ++r) {
+    std::fill(cells_.begin() + r * w_ + c0, cells_.begin() + r * w_ + c1,
+              uint8_t{1});
+  }
+}
+
+bool GridMask::ContainsRect(int64_t r0, int64_t c0, int64_t r1,
+                            int64_t c1) const {
+  if (r0 < 0 || c0 < 0 || r1 > h_ || c1 > w_ || r0 >= r1 || c0 >= c1) {
+    return false;
+  }
+  for (int64_t r = r0; r < r1; ++r) {
+    for (int64_t c = c0; c < c1; ++c) {
+      if (!at(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+void GridMask::ClearRect(int64_t r0, int64_t c0, int64_t r1, int64_t c1) {
+  O4A_CHECK(r0 >= 0 && c0 >= 0 && r1 <= h_ && c1 <= w_);
+  for (int64_t r = r0; r < r1; ++r) {
+    std::fill(cells_.begin() + r * w_ + c0, cells_.begin() + r * w_ + c1,
+              uint8_t{0});
+  }
+}
+
+GridMask GridMask::Union(const GridMask& other) const {
+  O4A_CHECK(h_ == other.h_ && w_ == other.w_);
+  GridMask out(h_, w_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    out.cells_[i] = cells_[i] | other.cells_[i];
+  }
+  return out;
+}
+
+GridMask GridMask::Intersect(const GridMask& other) const {
+  O4A_CHECK(h_ == other.h_ && w_ == other.w_);
+  GridMask out(h_, w_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    out.cells_[i] = cells_[i] & other.cells_[i];
+  }
+  return out;
+}
+
+GridMask GridMask::Subtract(const GridMask& other) const {
+  O4A_CHECK(h_ == other.h_ && w_ == other.w_);
+  GridMask out(h_, w_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    out.cells_[i] = cells_[i] & static_cast<uint8_t>(~other.cells_[i] & 1);
+  }
+  return out;
+}
+
+bool GridMask::Intersects(const GridMask& other) const {
+  O4A_CHECK(h_ == other.h_ && w_ == other.w_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] & other.cells_[i]) return true;
+  }
+  return false;
+}
+
+bool GridMask::Contains(const GridMask& other) const {
+  O4A_CHECK(h_ == other.h_ && w_ == other.w_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (other.cells_[i] && !cells_[i]) return false;
+  }
+  return true;
+}
+
+double GridMask::MaskedSum(const Tensor& field) const {
+  O4A_CHECK_EQ(field.ndim(), 2u);
+  O4A_CHECK_EQ(field.dim(0), h_);
+  O4A_CHECK_EQ(field.dim(1), w_);
+  double acc = 0.0;
+  const float* p = field.data();
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i]) acc += p[i];
+  }
+  return acc;
+}
+
+std::string GridMask::ToString() const {
+  std::ostringstream oss;
+  for (int64_t r = 0; r < h_; ++r) {
+    for (int64_t c = 0; c < w_; ++c) oss << (at(r, c) ? '#' : '.');
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+void SignedMask::AccumulateRect(int64_t r0, int64_t c0, int64_t r1,
+                                int64_t c1, int8_t sign) {
+  O4A_CHECK(r0 >= 0 && c0 >= 0 && r1 <= h_ && c1 <= w_);
+  for (int64_t r = r0; r < r1; ++r) {
+    for (int64_t c = c0; c < c1; ++c) {
+      cells_[static_cast<size_t>(r * w_ + c)] =
+          static_cast<int8_t>(cells_[static_cast<size_t>(r * w_ + c)] + sign);
+    }
+  }
+}
+
+void SignedMask::Accumulate(const SignedMask& other) {
+  O4A_CHECK(h_ == other.h_ && w_ == other.w_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] = static_cast<int8_t>(cells_[i] + other.cells_[i]);
+  }
+}
+
+bool SignedMask::EqualsRegion(const GridMask& region) const {
+  O4A_CHECK(h_ == region.height() && w_ == region.width());
+  for (int64_t r = 0; r < h_; ++r) {
+    for (int64_t c = 0; c < w_; ++c) {
+      if (at(r, c) != (region.at(r, c) ? 1 : 0)) return false;
+    }
+  }
+  return true;
+}
+
+std::string SignedMask::ToString() const {
+  std::ostringstream oss;
+  for (int64_t r = 0; r < h_; ++r) {
+    for (int64_t c = 0; c < w_; ++c) {
+      const int8_t v = at(r, c);
+      oss << (v == 0 ? '.' : (v == 1 ? '+' : (v == -1 ? '-' : '?')));
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace one4all

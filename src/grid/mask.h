@@ -1,0 +1,110 @@
+// Rasterized regions (Definition 4): binary assignment matrices over the
+// atomic raster, plus the signed masks produced by combination search
+// (union = +1, subtraction = -1).
+#ifndef ONE4ALL_GRID_MASK_H_
+#define ONE4ALL_GRID_MASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "tensor/tensor.h"
+
+namespace one4all {
+
+/// \brief Binary H x W assignment matrix A^R (Definition 4).
+class GridMask {
+ public:
+  GridMask() = default;
+  GridMask(int64_t h, int64_t w)
+      : h_(h), w_(w), cells_(static_cast<size_t>(h * w), 0) {}
+
+  int64_t height() const { return h_; }
+  int64_t width() const { return w_; }
+
+  bool at(int64_t r, int64_t c) const {
+    O4A_DCHECK(InBounds(r, c));
+    return cells_[static_cast<size_t>(r * w_ + c)] != 0;
+  }
+  void Set(int64_t r, int64_t c, bool value) {
+    O4A_DCHECK(InBounds(r, c));
+    cells_[static_cast<size_t>(r * w_ + c)] = value ? 1 : 0;
+  }
+  bool InBounds(int64_t r, int64_t c) const {
+    return r >= 0 && r < h_ && c >= 0 && c < w_;
+  }
+
+  /// \brief Number of cells set to 1.
+  int64_t Count() const;
+  bool Empty() const { return Count() == 0; }
+
+  /// \brief Marks every cell of the rectangle [r0,r1) x [c0,c1).
+  void FillRect(int64_t r0, int64_t c0, int64_t r1, int64_t c1);
+
+  /// \brief True iff every cell of the rectangle is set.
+  bool ContainsRect(int64_t r0, int64_t c0, int64_t r1, int64_t c1) const;
+
+  /// \brief Removes every cell of the rectangle.
+  void ClearRect(int64_t r0, int64_t c0, int64_t r1, int64_t c1);
+
+  GridMask Union(const GridMask& other) const;
+  GridMask Intersect(const GridMask& other) const;
+  /// \brief Cells in this mask but not in `other`.
+  GridMask Subtract(const GridMask& other) const;
+  bool Intersects(const GridMask& other) const;
+  /// \brief True iff `other` is a subset of this mask.
+  bool Contains(const GridMask& other) const;
+
+  bool operator==(const GridMask& other) const {
+    return h_ == other.h_ && w_ == other.w_ && cells_ == other.cells_;
+  }
+
+  /// \brief Sum of `field` over the masked cells; field must be [H,W] or
+  /// [C,H,W] (summed over channels per cell? No: returns the sum over
+  /// masked cells of a single-channel [H,W] field).
+  double MaskedSum(const Tensor& field) const;
+
+  /// \brief ASCII art for debugging ('#' = 1, '.' = 0).
+  std::string ToString() const;
+
+ private:
+  int64_t h_ = 0, w_ = 0;
+  std::vector<uint8_t> cells_;
+};
+
+/// \brief Signed combination mask: entries in {-1, 0, +1} on the atomic
+/// raster — the As matrices of Eq. 3 after the mapping function.
+class SignedMask {
+ public:
+  SignedMask() = default;
+  SignedMask(int64_t h, int64_t w)
+      : h_(h), w_(w), cells_(static_cast<size_t>(h * w), 0) {}
+
+  int64_t height() const { return h_; }
+  int64_t width() const { return w_; }
+
+  int8_t at(int64_t r, int64_t c) const {
+    return cells_[static_cast<size_t>(r * w_ + c)];
+  }
+
+  /// \brief Adds `sign` to the rectangle (accumulates union/subtraction).
+  void AccumulateRect(int64_t r0, int64_t c0, int64_t r1, int64_t c1,
+                      int8_t sign);
+
+  void Accumulate(const SignedMask& other);
+
+  /// \brief True iff the accumulated signs reduce exactly to the binary
+  /// region mask (Eq. 5: sum over scales of As == A^R).
+  bool EqualsRegion(const GridMask& region) const;
+
+  std::string ToString() const;
+
+ private:
+  int64_t h_ = 0, w_ = 0;
+  std::vector<int8_t> cells_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_GRID_MASK_H_

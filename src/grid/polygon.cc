@@ -1,0 +1,101 @@
+#include "grid/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace one4all {
+
+double Polygon::SignedArea() const {
+  double acc = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    acc += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * acc;
+}
+
+double Polygon::Area() const { return std::fabs(SignedArea()); }
+
+bool Polygon::Contains(const Point& p) const {
+  // Even-odd ray casting with a horizontal ray to +x.
+  const size_t n = vertices_.size();
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      const double x_at =
+          a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+std::pair<Point, Point> Polygon::BoundingBox() const {
+  O4A_CHECK(!vertices_.empty());
+  Point lo = vertices_[0], hi = vertices_[0];
+  for (const Point& p : vertices_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  return {lo, hi};
+}
+
+Polygon Polygon::Hexagon(const Point& center, double circumradius) {
+  std::vector<Point> pts;
+  pts.reserve(6);
+  for (int i = 0; i < 6; ++i) {
+    const double angle = M_PI / 3.0 * i + M_PI / 6.0;  // pointy-top
+    pts.push_back(Point{center.x + circumradius * std::cos(angle),
+                        center.y + circumradius * std::sin(angle)});
+  }
+  return Polygon(std::move(pts));
+}
+
+Polygon Polygon::Rect(double x0, double y0, double x1, double y1) {
+  return Polygon({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+}
+
+Result<GridMask> RasterizePolygon(const Polygon& polygon,
+                                  const RasterFrame& frame) {
+  if (polygon.size() < 3) {
+    return Status::InvalidArgument("polygon needs at least 3 vertices");
+  }
+  GridMask mask(frame.height, frame.width);
+  const auto [lo, hi] = polygon.BoundingBox();
+  // Restrict the scan to cells whose center can possibly be inside.
+  const int64_t r0 = std::max<int64_t>(
+      0, static_cast<int64_t>(std::floor((lo.y - frame.origin_y) /
+                                         frame.cell_size)) - 1);
+  const int64_t r1 = std::min<int64_t>(
+      frame.height, static_cast<int64_t>(std::ceil(
+                        (hi.y - frame.origin_y) / frame.cell_size)) + 1);
+  const int64_t c0 = std::max<int64_t>(
+      0, static_cast<int64_t>(std::floor((lo.x - frame.origin_x) /
+                                         frame.cell_size)) - 1);
+  const int64_t c1 = std::min<int64_t>(
+      frame.width, static_cast<int64_t>(std::ceil(
+                       (hi.x - frame.origin_x) / frame.cell_size)) + 1);
+  int64_t count = 0;
+  for (int64_t r = r0; r < r1; ++r) {
+    for (int64_t c = c0; c < c1; ++c) {
+      if (polygon.Contains(frame.CellCenter(r, c))) {
+        mask.Set(r, c, true);
+        ++count;
+      }
+    }
+  }
+  if (count == 0) {
+    return Status::InvalidArgument(
+        "polygon rasterizes to an empty region (covers no cell center)");
+  }
+  return mask;
+}
+
+}  // namespace one4all

@@ -1,0 +1,74 @@
+// Geographic polygons and their rasterization onto the atomic grid
+// (Definition 4). Coordinates are planar (x = easting, y = northing) in
+// meters; callers project lat/lng beforehand if needed.
+#ifndef ONE4ALL_GRID_POLYGON_H_
+#define ONE4ALL_GRID_POLYGON_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "grid/mask.h"
+
+namespace one4all {
+
+/// \brief A planar point in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// \brief Simple (non-self-intersecting) polygon given by its boundary path.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+
+  /// \brief Signed area (positive for counter-clockwise winding).
+  double SignedArea() const;
+  double Area() const;
+
+  /// \brief Even-odd rule point containment; boundary points count inside.
+  bool Contains(const Point& p) const;
+
+  /// \brief Axis-aligned bounding box as {min, max} points.
+  std::pair<Point, Point> BoundingBox() const;
+
+  /// \brief Regular hexagon of given circumradius centered at `center`.
+  static Polygon Hexagon(const Point& center, double circumradius);
+
+  /// \brief Axis-aligned rectangle.
+  static Polygon Rect(double x0, double y0, double x1, double y1);
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// \brief Maps between planar meters and the atomic raster.
+struct RasterFrame {
+  double origin_x = 0.0;   ///< west edge of cell (0,0)
+  double origin_y = 0.0;   ///< north edge of cell (0,0); rows grow south
+  double cell_size = 150;  ///< atomic cell edge in meters (paper: 150 m)
+  int64_t height = 0;
+  int64_t width = 0;
+
+  /// \brief Center of cell (r,c) in meters.
+  Point CellCenter(int64_t r, int64_t c) const {
+    return Point{origin_x + (static_cast<double>(c) + 0.5) * cell_size,
+                 origin_y + (static_cast<double>(r) + 0.5) * cell_size};
+  }
+};
+
+/// \brief Rasterizes a polygon: a cell is assigned iff its center lies
+/// inside the polygon (the standard center-sampling rule). Returns an
+/// error when the polygon has fewer than 3 vertices or the rasterization
+/// is empty (polygon does not cover any cell center).
+Result<GridMask> RasterizePolygon(const Polygon& polygon,
+                                  const RasterFrame& frame);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_GRID_POLYGON_H_

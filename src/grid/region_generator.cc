@@ -1,0 +1,148 @@
+#include "grid/region_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "grid/polygon.h"
+
+namespace one4all {
+
+const char* RegionStyleName(RegionStyle style) {
+  switch (style) {
+    case RegionStyle::kVoronoi: return "voronoi";
+    case RegionStyle::kHexagon: return "hexagon";
+    case RegionStyle::kRoadGrid: return "roadgrid";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<GridMask> VoronoiRegions(int64_t h, int64_t w, double mean_cells,
+                                     Rng* rng) {
+  const int64_t num_seeds =
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               std::llround(static_cast<double>(h * w) /
+                                            mean_cells)));
+  struct Seed {
+    double r, c;
+  };
+  std::vector<Seed> seeds;
+  seeds.reserve(static_cast<size_t>(num_seeds));
+  for (int64_t i = 0; i < num_seeds; ++i) {
+    seeds.push_back(Seed{rng->Uniform(0.0, static_cast<double>(h)),
+                         rng->Uniform(0.0, static_cast<double>(w))});
+  }
+  std::vector<GridMask> regions(seeds.size(), GridMask(h, w));
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      double best = 1e300;
+      size_t best_i = 0;
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        const double dr = seeds[i].r - (static_cast<double>(r) + 0.5);
+        const double dc = seeds[i].c - (static_cast<double>(c) + 0.5);
+        const double d = dr * dr + dc * dc;
+        if (d < best) {
+          best = d;
+          best_i = i;
+        }
+      }
+      regions[best_i].Set(r, c, true);
+    }
+  }
+  std::vector<GridMask> out;
+  for (GridMask& m : regions) {
+    if (!m.Empty()) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<GridMask> HexagonRegions(int64_t h, int64_t w,
+                                     double mean_cells) {
+  // Hexagon with area A cells^2 has circumradius r = sqrt(2A/(3*sqrt(3))).
+  const double cell = 1.0;  // work in cell units
+  const double radius =
+      std::sqrt(2.0 * mean_cells / (3.0 * std::sqrt(3.0)));
+  const double dx = std::sqrt(3.0) * radius;  // horizontal pitch
+  const double dy = 1.5 * radius;             // vertical pitch
+  RasterFrame frame;
+  frame.origin_x = 0.0;
+  frame.origin_y = 0.0;
+  frame.cell_size = cell;
+  frame.height = h;
+  frame.width = w;
+  std::vector<GridMask> out;
+  int row = 0;
+  for (double y = 0.0; y < static_cast<double>(h) + dy; y += dy, ++row) {
+    const double x_off = (row % 2 == 0) ? 0.0 : dx / 2.0;
+    for (double x = x_off; x < static_cast<double>(w) + dx; x += dx) {
+      const Polygon hex = Polygon::Hexagon(Point{x, y}, radius);
+      auto mask = RasterizePolygon(hex, frame);
+      if (mask.ok() && !mask->Empty()) out.push_back(mask.MoveValueUnsafe());
+    }
+  }
+  return out;
+}
+
+// Recursive binary-space partition: splits blocks along random axis-aligned
+// cuts (streets) until blocks reach the target size.
+void SplitBlock(int64_t r0, int64_t c0, int64_t r1, int64_t c1,
+                double mean_cells, Rng* rng, std::vector<GridMask>* out,
+                int64_t h, int64_t w) {
+  const int64_t area = (r1 - r0) * (c1 - c0);
+  // Stop around the target size with some dispersion so block areas vary
+  // like real road-bounded parcels.
+  const double stop_threshold = mean_cells * rng->Uniform(0.7, 1.5);
+  const int64_t height = r1 - r0, width = c1 - c0;
+  if (static_cast<double>(area) <= stop_threshold || (height < 2 && width < 2)) {
+    GridMask m(h, w);
+    m.FillRect(r0, c0, r1, c1);
+    if (!m.Empty()) out->push_back(std::move(m));
+    return;
+  }
+  const bool split_rows = height >= width;
+  if (split_rows) {
+    const int64_t cut =
+        r0 + 1 + static_cast<int64_t>(rng->UniformInt(
+                     static_cast<uint64_t>(height - 1)));
+    SplitBlock(r0, c0, cut, c1, mean_cells, rng, out, h, w);
+    SplitBlock(cut, c0, r1, c1, mean_cells, rng, out, h, w);
+  } else {
+    const int64_t cut =
+        c0 + 1 + static_cast<int64_t>(rng->UniformInt(
+                     static_cast<uint64_t>(width - 1)));
+    SplitBlock(r0, c0, r1, cut, mean_cells, rng, out, h, w);
+    SplitBlock(r0, cut, r1, c1, mean_cells, rng, out, h, w);
+  }
+}
+
+std::vector<GridMask> RoadGridRegions(int64_t h, int64_t w,
+                                      double mean_cells, Rng* rng) {
+  std::vector<GridMask> out;
+  SplitBlock(0, 0, h, w, mean_cells, rng, &out, h, w);
+  return out;
+}
+
+}  // namespace
+
+std::vector<GridMask> GenerateRegions(int64_t h, int64_t w,
+                                      const RegionGeneratorOptions& options) {
+  O4A_CHECK_GT(h, 0);
+  O4A_CHECK_GT(w, 0);
+  O4A_CHECK_GT(options.mean_cells, 0.0);
+  Rng rng(options.seed);
+  switch (options.style) {
+    case RegionStyle::kVoronoi:
+      return VoronoiRegions(h, w, options.mean_cells, &rng);
+    case RegionStyle::kHexagon:
+      return HexagonRegions(h, w, options.mean_cells);
+    case RegionStyle::kRoadGrid:
+      return RoadGridRegions(h, w, options.mean_cells, &rng);
+  }
+  return {};
+}
+
+std::vector<double> PaperTaskMeanCells() { return {13.0, 27.0, 58.0, 213.0}; }
+
+}  // namespace one4all

@@ -1,0 +1,49 @@
+// Region-query generators reproducing the paper's four prediction tasks
+// (Sec. V-A3). The paper queries census tracts / hexagons (Task 1, ~0.3
+// km^2) and road-map segments at tertiary/secondary/primary scales (0.6 /
+// 1.3 / 4.8 km^2). We cannot ship NYC open data or OSM, so we generate:
+//   - Voronoi partitions (census-tract-like irregular polygons),
+//   - hexagon tessellations (the Freight Task 1 fixed-shape queries),
+//   - recursive road-grid partitions (road-segment-like blocks).
+// Each generator controls the mean region area in atomic cells, which is
+// what determines task difficulty.
+#ifndef ONE4ALL_GRID_REGION_GENERATOR_H_
+#define ONE4ALL_GRID_REGION_GENERATOR_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "grid/mask.h"
+
+namespace one4all {
+
+/// \brief Kind of region-query workload.
+enum class RegionStyle {
+  kVoronoi,   ///< irregular census-tract-like zones
+  kHexagon,   ///< fixed-shape hexagon tessellation
+  kRoadGrid,  ///< axis-aligned blocks from recursive splits (road network)
+};
+
+const char* RegionStyleName(RegionStyle style);
+
+struct RegionGeneratorOptions {
+  RegionStyle style = RegionStyle::kVoronoi;
+  /// Target mean region size in atomic cells (task scale). The paper's
+  /// tasks at 150 m cells: 0.3 km^2 ~ 13 cells, 0.6 ~ 27, 1.3 ~ 58,
+  /// 4.8 ~ 213.
+  double mean_cells = 27.0;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates a set of disjoint, non-empty region masks covering
+/// (most of) the raster, following the requested style and mean size.
+std::vector<GridMask> GenerateRegions(int64_t h, int64_t w,
+                                      const RegionGeneratorOptions& options);
+
+/// \brief The paper's four task scales in atomic cells (150 m cells):
+/// Task 1..4 -> {13, 27, 58, 213}.
+std::vector<double> PaperTaskMeanCells();
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_GRID_REGION_GENERATOR_H_

@@ -1,0 +1,316 @@
+#include "index/quadtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace one4all {
+
+namespace {
+
+// -- Flat binary encoding helpers ----------------------------------------
+
+void PutI32(std::string* out, int32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+bool GetI32(const std::string& in, size_t* pos, int32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+void EncodeCombination(const Combination& combo, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(combo.terms.size()));
+  for (const CombinationTerm& term : combo.terms) {
+    PutI32(out, term.grid.layer);
+    PutI32(out, static_cast<int32_t>(term.grid.row));
+    PutI32(out, static_cast<int32_t>(term.grid.col));
+    out->push_back(static_cast<char>(term.sign));
+  }
+}
+
+bool DecodeCombination(const std::string& in, size_t* pos,
+                       Combination* combo) {
+  uint32_t count = 0;
+  if (!GetU32(in, pos, &count)) return false;
+  combo->terms.clear();
+  combo->terms.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int32_t layer = 0, row = 0, col = 0;
+    if (!GetI32(in, pos, &layer) || !GetI32(in, pos, &row) ||
+        !GetI32(in, pos, &col) || *pos >= in.size()) {
+      return false;
+    }
+    const int8_t sign = static_cast<int8_t>(in[*pos]);
+    ++*pos;
+    combo->terms.push_back(
+        CombinationTerm{GridId{layer, row, col}, sign});
+  }
+  return true;
+}
+
+int64_t CombinationBytes(const Combination& combo) {
+  return 4 + static_cast<int64_t>(combo.terms.size()) * 13;
+}
+
+}  // namespace
+
+ExtendedQuadTree ExtendedQuadTree::Build(
+    const Hierarchy& hierarchy, const CombinationSearchResult& search) {
+  ExtendedQuadTree tree;
+  tree.depth_ = hierarchy.num_layers();
+  for (int l = 1; l <= tree.depth_; ++l) {
+    tree.layer_heights_.push_back(hierarchy.layer(l).height);
+    tree.layer_widths_.push_back(hierarchy.layer(l).width);
+    tree.windows_.push_back(hierarchy.layer(l).window);
+  }
+
+  // Recursive construction from a grid id downward.
+  struct Builder {
+    const Hierarchy& hierarchy;
+    const CombinationSearchResult& search;
+
+    std::unique_ptr<Node> Make(const GridId& id) {
+      auto node = std::make_unique<Node>();
+      node->combo = search.Single(hierarchy, id).combo;
+      if (id.layer >= 2) {
+        const int64_t k = hierarchy.layer(id.layer).window;
+        node->children.resize(static_cast<size_t>(k * k));
+        for (const GridId& child : hierarchy.ChildrenOf(id)) {
+          const int64_t dr = child.row - id.row * k;
+          const int64_t dc = child.col - id.col * k;
+          node->children[static_cast<size_t>(dr * k + dc)] = Make(child);
+        }
+        // Attach multi-grid combinations for subsets of this node's
+        // children (the E-L codes live on the parent, Fig. 11/12).
+        const uint32_t max_mask = 1u << static_cast<uint32_t>(k * k);
+        for (uint32_t mask = 1; mask < max_mask; ++mask) {
+          MultiGridKey key;
+          key.layer = id.layer - 1;
+          key.parent_row = id.row;
+          key.parent_col = id.col;
+          key.position_mask = mask;
+          if (const GridBest* best = search.Multi(key)) {
+            node->multi.emplace(mask, best->combo);
+          }
+        }
+      }
+      return node;
+    }
+  };
+
+  Builder builder{hierarchy, search};
+  const LayerInfo& top = hierarchy.layer(tree.depth_);
+  tree.roots_.reserve(static_cast<size_t>(top.height * top.width));
+  for (int64_t r = 0; r < top.height; ++r) {
+    for (int64_t c = 0; c < top.width; ++c) {
+      tree.roots_.push_back(builder.Make(GridId{tree.depth_, r, c}));
+    }
+  }
+  return tree;
+}
+
+const ExtendedQuadTree::Node* ExtendedQuadTree::Walk(const GridId& id) const {
+  O4A_CHECK(id.layer >= 1 && id.layer <= depth_);
+  // Ancestor positions from id's layer up to the top.
+  std::vector<std::pair<int64_t, int64_t>> path;  // (row, col) per layer
+  int64_t row = id.row, col = id.col;
+  path.emplace_back(row, col);
+  for (int l = id.layer; l < depth_; ++l) {
+    const int64_t k = windows_[static_cast<size_t>(l)];  // window of layer l+1
+    row /= k;
+    col /= k;
+    path.emplace_back(row, col);
+  }
+  // Descend from the root node (coarsest layer).
+  const auto [top_row, top_col] = path.back();
+  const int64_t top_w = layer_widths_[static_cast<size_t>(depth_ - 1)];
+  const Node* node = roots_[static_cast<size_t>(top_row * top_w + top_col)].get();
+  for (int l = depth_ - 1; l >= id.layer; --l) {
+    const auto [child_row, child_col] = path[static_cast<size_t>(l - id.layer)];
+    const auto [parent_row, parent_col] =
+        path[static_cast<size_t>(l - id.layer + 1)];
+    const int64_t k = windows_[static_cast<size_t>(l)];
+    const int64_t pos = (child_row - parent_row * k) * k +
+                        (child_col - parent_col * k);
+    O4A_CHECK(node != nullptr);
+    node = node->children[static_cast<size_t>(pos)].get();
+  }
+  return node;
+}
+
+const Combination* ExtendedQuadTree::LookupSingle(const GridId& id) const {
+  const Node* node = Walk(id);
+  return node ? &node->combo : nullptr;
+}
+
+const Combination* ExtendedQuadTree::LookupMulti(
+    const MultiGridKey& key) const {
+  const GridId parent{key.layer + 1, key.parent_row, key.parent_col};
+  const Node* node = Walk(parent);
+  if (!node) return nullptr;
+  auto it = node->multi.find(key.position_mask);
+  return it == node->multi.end() ? nullptr : &it->second;
+}
+
+IndexSizeReport ExtendedQuadTree::MeasureSize() const {
+  IndexSizeReport report;
+  report.bytes_per_layer.assign(static_cast<size_t>(depth_), 0);
+
+  struct Walker {
+    IndexSizeReport* report;
+    int depth;
+    void Visit(const Node* node, int layer) {
+      if (!node) return;
+      // Node overhead: child offsets plus the mask table header.
+      constexpr int64_t kNodeOverhead = 16;
+      int64_t bytes = kNodeOverhead + CombinationBytes(node->combo);
+      report->bytes_per_layer[static_cast<size_t>(layer - 1)] += bytes;
+      ++report->num_nodes;
+      for (const auto& [mask, combo] : node->multi) {
+        // Multi entries belong to the members' (finer) layer.
+        report->bytes_per_layer[static_cast<size_t>(layer - 2)] +=
+            4 + CombinationBytes(combo);
+        ++report->num_multi_entries;
+      }
+      for (const auto& child : node->children) Visit(child.get(), layer - 1);
+    }
+  };
+
+  Walker walker{&report, depth_};
+  for (const auto& root : roots_) walker.Visit(root.get(), depth_);
+  for (int64_t b : report.bytes_per_layer) report.total_bytes += b;
+  return report;
+}
+
+std::string ExtendedQuadTree::Serialize() const {
+  std::string out;
+  PutI32(&out, depth_);
+  for (int i = 0; i < depth_; ++i) {
+    PutI32(&out, static_cast<int32_t>(layer_heights_[static_cast<size_t>(i)]));
+    PutI32(&out, static_cast<int32_t>(layer_widths_[static_cast<size_t>(i)]));
+    PutI32(&out, static_cast<int32_t>(windows_[static_cast<size_t>(i)]));
+  }
+
+  struct Writer {
+    std::string* out;
+    void Visit(const Node* node) {
+      out->push_back(node ? 1 : 0);
+      if (!node) return;
+      EncodeCombination(node->combo, out);
+      PutU32(out, static_cast<uint32_t>(node->multi.size()));
+      // Sorted mask order keeps the encoding deterministic regardless of
+      // hash-map iteration order.
+      std::vector<uint32_t> masks;
+      masks.reserve(node->multi.size());
+      for (const auto& [mask, combo] : node->multi) masks.push_back(mask);
+      std::sort(masks.begin(), masks.end());
+      for (uint32_t mask : masks) {
+        PutU32(out, mask);
+        EncodeCombination(node->multi.at(mask), out);
+      }
+      PutU32(out, static_cast<uint32_t>(node->children.size()));
+      for (const auto& child : node->children) Visit(child.get());
+    }
+  };
+
+  PutU32(&out, static_cast<uint32_t>(roots_.size()));
+  Writer writer{&out};
+  for (const auto& root : roots_) writer.Visit(root.get());
+  return out;
+}
+
+Result<ExtendedQuadTree> ExtendedQuadTree::Deserialize(
+    const std::string& bytes) {
+  ExtendedQuadTree tree;
+  size_t pos = 0;
+  int32_t depth = 0;
+  if (!GetI32(bytes, &pos, &depth) || depth <= 0) {
+    return Status::InvalidArgument("corrupt quad-tree header");
+  }
+  tree.depth_ = depth;
+  for (int i = 0; i < depth; ++i) {
+    int32_t h = 0, w = 0, k = 0;
+    if (!GetI32(bytes, &pos, &h) || !GetI32(bytes, &pos, &w) ||
+        !GetI32(bytes, &pos, &k)) {
+      return Status::InvalidArgument("corrupt quad-tree geometry");
+    }
+    tree.layer_heights_.push_back(h);
+    tree.layer_widths_.push_back(w);
+    tree.windows_.push_back(k);
+  }
+
+  struct Reader {
+    const std::string& in;
+    size_t* pos;
+    bool ok = true;
+
+    std::unique_ptr<Node> Visit() {
+      if (*pos >= in.size()) {
+        ok = false;
+        return nullptr;
+      }
+      const char present = in[*pos];
+      ++*pos;
+      if (!present) return nullptr;
+      auto node = std::make_unique<Node>();
+      uint32_t n_multi = 0, n_children = 0;
+      if (!DecodeCombination(in, pos, &node->combo) ||
+          !GetU32(in, pos, &n_multi)) {
+        ok = false;
+        return nullptr;
+      }
+      for (uint32_t i = 0; i < n_multi; ++i) {
+        uint32_t mask = 0;
+        Combination combo;
+        if (!GetU32(in, pos, &mask) || !DecodeCombination(in, pos, &combo)) {
+          ok = false;
+          return nullptr;
+        }
+        node->multi.emplace(mask, std::move(combo));
+      }
+      if (!GetU32(in, pos, &n_children)) {
+        ok = false;
+        return nullptr;
+      }
+      node->children.resize(n_children);
+      for (uint32_t i = 0; i < n_children; ++i) {
+        node->children[i] = Visit();
+        if (!ok) return nullptr;
+      }
+      return node;
+    }
+  };
+
+  uint32_t n_roots = 0;
+  if (!GetU32(bytes, &pos, &n_roots)) {
+    return Status::InvalidArgument("corrupt quad-tree roots");
+  }
+  Reader reader{bytes, &pos};
+  for (uint32_t i = 0; i < n_roots; ++i) {
+    tree.roots_.push_back(reader.Visit());
+    if (!reader.ok) {
+      return Status::InvalidArgument("corrupt quad-tree payload");
+    }
+  }
+  return tree;
+}
+
+}  // namespace one4all

@@ -1,0 +1,71 @@
+// Extended quad-tree index (paper Sec. IV-C3, Fig. 12): a K^2-ary tree
+// over the hierarchy whose nodes carry the optimal combination of their
+// grid, extended with per-node multi-grid entries (up to 8 extra children
+// for K=2, codes E-L of Fig. 11). Retrieval walks parent codes from the
+// coarsest layer: O(log HW) versus O(HW) for a linear table.
+#ifndef ONE4ALL_INDEX_QUADTREE_H_
+#define ONE4ALL_INDEX_QUADTREE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "combine/search.h"
+#include "core/status.h"
+
+namespace one4all {
+
+/// \brief Size accounting per hierarchy layer (Fig. 17).
+struct IndexSizeReport {
+  std::vector<int64_t> bytes_per_layer;  ///< index 0 = layer 1
+  int64_t total_bytes = 0;
+  int64_t num_nodes = 0;
+  int64_t num_multi_entries = 0;
+};
+
+/// \brief The extended quad-tree over one hierarchy.
+class ExtendedQuadTree {
+ public:
+  /// \brief Builds the index from a finished combination search.
+  static ExtendedQuadTree Build(const Hierarchy& hierarchy,
+                                const CombinationSearchResult& search);
+
+  /// \brief Optimal combination of a single grid (never null after Build).
+  const Combination* LookupSingle(const GridId& id) const;
+
+  /// \brief Optimal combination of a multi-grid, or nullptr when the
+  /// search did not cover it.
+  const Combination* LookupMulti(const MultiGridKey& key) const;
+
+  /// \brief Number of tree levels (== hierarchy layers).
+  int depth() const { return depth_; }
+
+  /// \brief Measures serialized size per layer (Fig. 17's metric).
+  IndexSizeReport MeasureSize() const;
+
+  /// \brief Serializes to a flat byte string (for the KV store's online
+  /// sync); Deserialize restores an equivalent index.
+  std::string Serialize() const;
+  static Result<ExtendedQuadTree> Deserialize(const std::string& bytes);
+
+ private:
+  struct Node {
+    Combination combo;
+    // mask -> combination for multi-grids one layer below this node.
+    std::unordered_map<uint32_t, Combination> multi;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  const Node* Walk(const GridId& id) const;
+
+  // Roots: one node per coarsest-layer grid, row-major.
+  std::vector<std::unique_ptr<Node>> roots_;
+  int depth_ = 0;
+  // Geometry needed to navigate without the full Hierarchy object.
+  std::vector<int64_t> layer_heights_, layer_widths_, windows_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_INDEX_QUADTREE_H_

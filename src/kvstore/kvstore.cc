@@ -1,0 +1,62 @@
+#include "kvstore/kvstore.h"
+
+namespace one4all {
+
+void KvStore::Put(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  table_[key] = std::move(value);
+}
+
+Result<std::string> KvStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return Status::NotFound("key not found: " + key);
+  }
+  return it->second;
+}
+
+bool KvStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.count(key) > 0;
+}
+
+Status KvStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_.erase(key) == 0) {
+    return Status::NotFound("key not found: " + key);
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = table_.lower_bound(prefix); it != table_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+size_t KvStore::NumKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+int64_t KvStore::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes = 0;
+  for (const auto& [k, v] : table_) {
+    bytes += static_cast<int64_t>(k.size() + v.size());
+  }
+  return bytes;
+}
+
+void KvStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  table_.clear();
+}
+
+}  // namespace one4all

@@ -1,0 +1,49 @@
+// In-memory key-value/table store: the stand-in for HBase (online
+// serving) and Hive (offline training data) in the paper's system diagram
+// (Fig. 4). Thread-safe; supports point get/put, prefix scans, and size
+// accounting.
+#ifndef ONE4ALL_KVSTORE_KVSTORE_H_
+#define ONE4ALL_KVSTORE_KVSTORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace one4all {
+
+/// \brief Ordered, thread-safe string KV store.
+class KvStore {
+ public:
+  KvStore() = default;
+
+  /// \brief Inserts or overwrites.
+  void Put(const std::string& key, std::string value);
+
+  /// \brief Point lookup.
+  Result<std::string> Get(const std::string& key) const;
+  bool Contains(const std::string& key) const;
+
+  /// \brief Removes a key; NotFound if absent.
+  Status Delete(const std::string& key);
+
+  /// \brief All (key, value) pairs whose key starts with `prefix`,
+  /// in key order.
+  std::vector<std::pair<std::string, std::string>> ScanPrefix(
+      const std::string& prefix) const;
+
+  size_t NumKeys() const;
+  /// \brief Sum of key and value byte lengths.
+  int64_t ApproxBytes() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> table_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_KVSTORE_KVSTORE_H_

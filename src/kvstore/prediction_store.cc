@@ -1,0 +1,58 @@
+#include "kvstore/prediction_store.h"
+
+#include <cstring>
+
+#include "core/logging.h"
+
+namespace one4all {
+
+std::string PredictionStore::FrameKey(int layer, int64_t t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "pred/%02d/%012lld", layer,
+                static_cast<long long>(t));
+  return buf;
+}
+
+void PredictionStore::SyncFrame(int layer, int64_t t, const Tensor& frame) {
+  O4A_CHECK_EQ(frame.ndim(), 2u);
+  const int32_t h = static_cast<int32_t>(frame.dim(0));
+  const int32_t w = static_cast<int32_t>(frame.dim(1));
+  std::string blob;
+  blob.resize(8 + sizeof(float) * static_cast<size_t>(frame.numel()));
+  std::memcpy(blob.data(), &h, 4);
+  std::memcpy(blob.data() + 4, &w, 4);
+  std::memcpy(blob.data() + 8, frame.data(),
+              sizeof(float) * static_cast<size_t>(frame.numel()));
+  store_->Put(FrameKey(layer, t), std::move(blob));
+}
+
+Result<Tensor> PredictionStore::GetFrame(int layer, int64_t t) const {
+  O4A_ASSIGN_OR_RETURN(std::string blob, store_->Get(FrameKey(layer, t)));
+  if (blob.size() < 8) {
+    return Status::Internal("corrupt prediction frame blob");
+  }
+  int32_t h = 0, w = 0;
+  std::memcpy(&h, blob.data(), 4);
+  std::memcpy(&w, blob.data() + 4, 4);
+  if (blob.size() != 8 + sizeof(float) * static_cast<size_t>(h) *
+                             static_cast<size_t>(w)) {
+    return Status::Internal("prediction frame size mismatch");
+  }
+  Tensor frame({h, w});
+  std::memcpy(frame.data(), blob.data() + 8, blob.size() - 8);
+  return frame;
+}
+
+float PredictionStore::GetValue(int layer, int64_t t, int64_t row,
+                                int64_t col) const {
+  auto frame = GetFrame(layer, t);
+  O4A_CHECK(frame.ok()) << "missing prediction frame layer=" << layer
+                        << " t=" << t;
+  return frame->at(row, col);
+}
+
+bool PredictionStore::HasFrame(int layer, int64_t t) const {
+  return store_->Contains(FrameKey(layer, t));
+}
+
+}  // namespace one4all

@@ -1,0 +1,39 @@
+// Online prediction storage: the deployed model continuously synchronizes
+// multi-scale prediction frames into the KV store (paper Sec. III "online
+// phase"); the query server reads single grid values back by key.
+#ifndef ONE4ALL_KVSTORE_PREDICTION_STORE_H_
+#define ONE4ALL_KVSTORE_PREDICTION_STORE_H_
+
+#include <string>
+
+#include "kvstore/kvstore.h"
+#include "tensor/tensor.h"
+
+namespace one4all {
+
+/// \brief Typed facade over KvStore for per-layer prediction frames.
+class PredictionStore {
+ public:
+  explicit PredictionStore(KvStore* store) : store_(store) {}
+
+  /// \brief Writes the prediction frame [Hl, Wl] of (layer, t).
+  void SyncFrame(int layer, int64_t t, const Tensor& frame);
+
+  /// \brief Reads a full frame back.
+  Result<Tensor> GetFrame(int layer, int64_t t) const;
+
+  /// \brief Point read of one grid's predicted value. Dies if the frame
+  /// was never synced (programming error in the serving pipeline).
+  float GetValue(int layer, int64_t t, int64_t row, int64_t col) const;
+
+  bool HasFrame(int layer, int64_t t) const;
+
+  static std::string FrameKey(int layer, int64_t t);
+
+ private:
+  KvStore* store_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_KVSTORE_PREDICTION_STORE_H_

@@ -1,0 +1,166 @@
+// Convolutional deep baselines from Table I, re-implemented on the shared
+// substrate: ST-ResNet, STRN, STMeta, and the bi-scale MC-STGCN. Each is a
+// faithful lightweight analogue keeping the family's inductive bias (see
+// DESIGN.md substitution table).
+#ifndef ONE4ALL_MODEL_BASELINES_CNN_H_
+#define ONE4ALL_MODEL_BASELINES_CNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/predictor.h"
+#include "nn/layers.h"
+
+namespace one4all {
+
+/// \brief Shared temporal trunk: three non-shared convolutions over the
+/// closeness/period/trend stacks, concatenated and fused to D channels
+/// (identical to One4All-ST's Eq. 7, which itself follows ST-ResNet).
+class TemporalTrunk : public Module {
+ public:
+  TemporalTrunk(const TemporalFeatureSpec& spec, int64_t channels, Rng* rng);
+  Variable Forward(const TemporalInput& input) const;
+
+ private:
+  Conv2d* conv_closeness_;
+  Conv2d* conv_period_;
+  Conv2d* conv_trend_;
+  Conv2d* fuse_;
+};
+
+/// \brief Base class for deep baselines that predict one scale natively.
+///
+/// `native_layer` selects which hierarchy layer the model trains on
+/// (default the atomic layer). Coarser queries are served by aggregating
+/// the atomic predictions — only possible when native_layer == 1.
+class SingleScaleNet : public Module, public FlowPredictor {
+ public:
+  explicit SingleScaleNet(int native_layer) : native_layer_(native_layer) {}
+
+  /// \brief Normalized prediction [N,1,H,W] at the native layer.
+  virtual Variable Forward(const TemporalInput& input) const = 0;
+
+  /// \brief MSE on the native layer's normalized targets.
+  Variable Loss(const STDataset& dataset,
+                const std::vector<int64_t>& batch) const;
+
+  std::vector<int> NativeLayers(const STDataset& dataset) const override {
+    (void)dataset;
+    return {native_layer_};
+  }
+  Tensor PredictLayer(const STDataset& dataset,
+                      const std::vector<int64_t>& timesteps,
+                      int layer) override;
+  std::vector<Tensor> PredictAllLayers(
+      const STDataset& dataset,
+      const std::vector<int64_t>& timesteps) override;
+  int64_t NumParameters() const override { return Module::NumParameters(); }
+
+  int native_layer() const { return native_layer_; }
+
+ protected:
+  int native_layer_;
+};
+
+/// \brief ST-ResNet (Zhang et al., AAAI'17): temporal trunk + a stack of
+/// residual convolution blocks + per-pixel head.
+class StResNetNet : public SingleScaleNet {
+ public:
+  StResNetNet(const TemporalFeatureSpec& spec, int64_t channels,
+              int num_blocks, uint64_t seed, int native_layer = 1);
+  Variable Forward(const TemporalInput& input) const override;
+  std::string Name() const override { return "ST-ResNet"; }
+
+ private:
+  TemporalTrunk* trunk_;
+  std::vector<ResBlock*> blocks_;
+  Conv2d* head_;
+};
+
+/// \brief STRN (Liang et al., WWW'21): fine-grained backbone enhanced by a
+/// learned coarse (cluster) branch fused back into the fine scale.
+class StrnNet : public SingleScaleNet {
+ public:
+  StrnNet(const TemporalFeatureSpec& spec, int64_t channels,
+          int64_t coarse_factor, uint64_t seed, int native_layer = 1);
+  Variable Forward(const TemporalInput& input) const override;
+  std::string Name() const override { return "STRN"; }
+
+ private:
+  int64_t coarse_factor_;
+  TemporalTrunk* trunk_;
+  SEBlock* fine_block_;
+  Conv2d* pool_;
+  SEBlock* coarse_block_;
+  Conv2d* head_;
+};
+
+/// \brief STMeta (Wang et al., TKDE'23): multiple temporal views fused by
+/// learned gates before spatial modeling.
+class StMetaNet : public SingleScaleNet {
+ public:
+  StMetaNet(const TemporalFeatureSpec& spec, int64_t channels,
+            uint64_t seed);
+  Variable Forward(const TemporalInput& input) const override;
+  std::string Name() const override { return "STMeta"; }
+
+ private:
+  Conv2d* branch_c_;
+  Conv2d* branch_p_;
+  Conv2d* branch_t_;
+  Conv2d* gate_c_;
+  Conv2d* gate_p_;
+  Conv2d* gate_t_;
+  SEBlock* block1_;
+  SEBlock* block2_;
+  Conv2d* head_;
+};
+
+/// \brief MC-STGCN (Wang et al., TIST'22): bi-scale model predicting the
+/// atomic scale and a coarse cluster scale simultaneously with separate
+/// spatial modules (hence its larger parameter count, cf. Table II).
+class McStgcnNet : public Module, public FlowPredictor {
+ public:
+  /// \param cluster_layer Hierarchy layer used as the cluster scale.
+  McStgcnNet(const Hierarchy& hierarchy, const TemporalFeatureSpec& spec,
+             int64_t channels, int cluster_layer, uint64_t seed);
+
+  /// \brief Returns {fine [N,1,H,W], cluster [N,1,Hc,Wc]} normalized.
+  std::pair<Variable, Variable> Forward(const TemporalInput& input) const;
+
+  /// \brief Weighted bi-scale loss (the paper's manual task weighting).
+  Variable Loss(const STDataset& dataset,
+                const std::vector<int64_t>& batch) const;
+
+  std::string Name() const override { return "MC-STGCN"; }
+  std::vector<int> NativeLayers(const STDataset& dataset) const override {
+    (void)dataset;
+    return {1, cluster_layer_};
+  }
+  Tensor PredictLayer(const STDataset& dataset,
+                      const std::vector<int64_t>& timesteps,
+                      int layer) override;
+  int64_t NumParameters() const override { return Module::NumParameters(); }
+
+  int cluster_layer() const { return cluster_layer_; }
+
+ private:
+  int cluster_layer_;
+  int64_t cluster_stride_;
+  int64_t cluster_h_, cluster_w_;
+  TemporalTrunk* trunk_;
+  // Separate spatial learning modules per scale (no sharing).
+  SEBlock* fine_block1_;
+  SEBlock* fine_block2_;
+  Conv2d* pool_;
+  SEBlock* coarse_block1_;
+  SEBlock* coarse_block2_;
+  Conv2d* cross_;  // cross-scale feature exchange (coarse -> fine)
+  Conv2d* fine_head_;
+  Conv2d* coarse_head_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_MODEL_BASELINES_CNN_H_

@@ -1,0 +1,285 @@
+#include "model/baselines_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace one4all {
+
+int64_t PoolFactorFor(int64_t h, int64_t w, int64_t max_nodes) {
+  int64_t factor = 1;
+  while (((h + factor - 1) / factor) * ((w + factor - 1) / factor) >
+         max_nodes) {
+    ++factor;
+  }
+  return factor;
+}
+
+namespace {
+
+// Pools the trunk features and returns node-major rows [N*nodes, D].
+Variable PoolToNodeRows(const Variable& h, const Conv2d& pool,
+                        int64_t factor, int64_t nodes_h, int64_t nodes_w) {
+  const int64_t fh = h.value().dim(2), fw = h.value().dim(3);
+  const int64_t ph = nodes_h * factor, pw = nodes_w * factor;
+  Variable pooled = pool.Forward(Pad2dVar(h, ph, pw));
+  O4A_CHECK_EQ(pooled.value().dim(2), nodes_h);
+  O4A_CHECK_EQ(pooled.value().dim(3), nodes_w);
+  (void)fh;
+  (void)fw;
+  return NchwToNodeRowsVar(pooled);
+}
+
+// Scatters node rows back onto the fine raster and adds them to `fine`.
+Variable UnpoolAndFuse(const Variable& node_rows, const Variable& fine,
+                       int64_t n, int64_t d, int64_t nodes_h,
+                       int64_t nodes_w, int64_t factor) {
+  Variable coarse = NodeRowsToNchwVar(node_rows, n, d, nodes_h, nodes_w);
+  Variable up = UpsampleNearestVar(coarse, factor);
+  up = Crop2dVar(up, fine.value().dim(2), fine.value().dim(3));
+  return Add(fine, up);
+}
+
+// Row-normalizes a dense adjacency in place (random-walk normalization).
+void RowNormalize(Tensor* adj) {
+  const int64_t n = adj->dim(0);
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) sum += adj->at(i, j);
+    if (sum > 0.0) {
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int64_t j = 0; j < n; ++j) adj->at(i, j) *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GraphWaveNet
+// ---------------------------------------------------------------------------
+
+GwnNet::GwnNet(const Hierarchy& hierarchy, const TemporalFeatureSpec& spec,
+               int64_t channels, int64_t embedding_dim, int64_t max_nodes,
+               uint64_t seed)
+    : SingleScaleNet(1),
+      h_(hierarchy.atomic_height()),
+      w_(hierarchy.atomic_width()) {
+  Rng rng(seed);
+  pool_factor_ = PoolFactorFor(h_, w_, max_nodes);
+  nodes_h_ = (h_ + pool_factor_ - 1) / pool_factor_;
+  nodes_w_ = (w_ + pool_factor_ - 1) / pool_factor_;
+  const int64_t nodes = nodes_h_ * nodes_w_;
+  trunk_ = RegisterModule(
+      "trunk", std::make_unique<TemporalTrunk>(spec, channels, &rng));
+  pool_ = RegisterModule(
+      "pool", std::make_unique<Conv2d>(channels, channels, pool_factor_,
+                                       pool_factor_, 0, true, &rng));
+  e1_ = RegisterParameter(
+      "e1", Tensor::RandomNormal({nodes, embedding_dim}, &rng, 0.0f, 0.1f));
+  e2_ = RegisterParameter(
+      "e2", Tensor::RandomNormal({nodes, embedding_dim}, &rng, 0.0f, 0.1f));
+  w_self_ = RegisterModule(
+      "w_self", std::make_unique<Linear>(channels, channels, true, &rng));
+  w_diff1_ = RegisterModule(
+      "w_diff1", std::make_unique<Linear>(channels, channels, true, &rng));
+  w_diff2_ = RegisterModule(
+      "w_diff2", std::make_unique<Linear>(channels, channels, false, &rng));
+  head_ = RegisterModule(
+      "head", std::make_unique<Conv2d>(channels, 1, 1, 1, 0, true, &rng));
+}
+
+Variable GwnNet::Forward(const TemporalInput& input) const {
+  Variable h = trunk_->Forward(input);
+  const int64_t n = h.value().dim(0), d = h.value().dim(1);
+  const int64_t nodes = nodes_h_ * nodes_w_;
+  Variable rows = PoolToNodeRows(h, *pool_, pool_factor_, nodes_h_, nodes_w_);
+
+  // Self-adaptive adjacency (GWN Eq. 5): softmax(relu(E1 E2^T)).
+  Variable adj = SoftmaxRowsVar(Relu(MatMulTransBVar(e1_, e2_)));
+
+  std::vector<Variable> out_blocks;
+  out_blocks.reserve(static_cast<size_t>(n));
+  for (int64_t s = 0; s < n; ++s) {
+    Variable x = SliceRowsVar(rows, s * nodes, (s + 1) * nodes);
+    Variable diffused1 = MatMulVar(adj, x);
+    Variable h1 = Relu(
+        Add(w_self_->Forward(x), w_diff1_->Forward(diffused1)));
+    Variable diffused2 = MatMulVar(adj, h1);
+    out_blocks.push_back(Add(h1, w_diff2_->Forward(diffused2)));
+  }
+  Variable fused = UnpoolAndFuse(ConcatRowsVar(out_blocks), h, n, d,
+                                 nodes_h_, nodes_w_, pool_factor_);
+  return head_->Forward(fused);
+}
+
+// ---------------------------------------------------------------------------
+// ST-MGCN
+// ---------------------------------------------------------------------------
+
+StMgcnNet::StMgcnNet(const STDataset& dataset, int64_t channels,
+                     int64_t max_nodes, uint64_t seed)
+    : SingleScaleNet(1),
+      h_(dataset.hierarchy().atomic_height()),
+      w_(dataset.hierarchy().atomic_width()) {
+  Rng rng(seed);
+  pool_factor_ = PoolFactorFor(h_, w_, max_nodes);
+  nodes_h_ = (h_ + pool_factor_ - 1) / pool_factor_;
+  nodes_w_ = (w_ + pool_factor_ - 1) / pool_factor_;
+  const int64_t nodes = nodes_h_ * nodes_w_;
+
+  trunk_ = RegisterModule(
+      "trunk",
+      std::make_unique<TemporalTrunk>(dataset.spec(), channels, &rng));
+  pool_ = RegisterModule(
+      "pool", std::make_unique<Conv2d>(channels, channels, pool_factor_,
+                                       pool_factor_, 0, true, &rng));
+
+  // Geographic proximity graph: 4-neighbourhood on the node lattice.
+  adj_geo_ = Tensor({nodes, nodes});
+  for (int64_t r = 0; r < nodes_h_; ++r) {
+    for (int64_t c = 0; c < nodes_w_; ++c) {
+      const int64_t i = r * nodes_w_ + c;
+      const int64_t dr[] = {-1, 1, 0, 0};
+      const int64_t dc[] = {0, 0, -1, 1};
+      for (int k = 0; k < 4; ++k) {
+        const int64_t nr = r + dr[k], nc = c + dc[k];
+        if (nr >= 0 && nr < nodes_h_ && nc >= 0 && nc < nodes_w_) {
+          adj_geo_.at(i, nr * nodes_w_ + nc) = 1.0f;
+        }
+      }
+    }
+  }
+  RowNormalize(&adj_geo_);
+
+  // Flow-similarity graph: kNN over mean training flow per node.
+  std::vector<double> node_mean(static_cast<size_t>(nodes), 0.0);
+  const auto& train = dataset.train_indices();
+  const int64_t step = std::max<int64_t>(1, static_cast<int64_t>(train.size()) / 50);
+  int64_t used = 0;
+  for (size_t ti = 0; ti < train.size(); ti += static_cast<size_t>(step)) {
+    const Tensor& f = dataset.FrameAtLayer(train[ti], 1);
+    for (int64_t r = 0; r < h_; ++r) {
+      for (int64_t c = 0; c < w_; ++c) {
+        const int64_t node =
+            (r / pool_factor_) * nodes_w_ + (c / pool_factor_);
+        node_mean[static_cast<size_t>(node)] += f.at(r, c);
+      }
+    }
+    ++used;
+  }
+  for (double& v : node_mean) v /= std::max<int64_t>(1, used);
+
+  const int knn = 8;
+  adj_sim_ = Tensor({nodes, nodes});
+  for (int64_t i = 0; i < nodes; ++i) {
+    std::vector<std::pair<double, int64_t>> dist;
+    dist.reserve(static_cast<size_t>(nodes - 1));
+    for (int64_t j = 0; j < nodes; ++j) {
+      if (j == i) continue;
+      dist.emplace_back(std::fabs(node_mean[static_cast<size_t>(i)] -
+                                  node_mean[static_cast<size_t>(j)]),
+                        j);
+    }
+    std::partial_sort(dist.begin(),
+                      dist.begin() + std::min<size_t>(knn, dist.size()),
+                      dist.end());
+    for (size_t k = 0; k < std::min<size_t>(knn, dist.size()); ++k) {
+      adj_sim_.at(i, dist[k].second) = 1.0f;
+    }
+  }
+  RowNormalize(&adj_sim_);
+
+  w_geo_ = RegisterModule(
+      "w_geo", std::make_unique<Linear>(channels, channels, true, &rng));
+  w_sim_ = RegisterModule(
+      "w_sim", std::make_unique<Linear>(channels, channels, true, &rng));
+  w_self_ = RegisterModule(
+      "w_self", std::make_unique<Linear>(channels, channels, true, &rng));
+  head_ = RegisterModule(
+      "head", std::make_unique<Conv2d>(channels, 1, 1, 1, 0, true, &rng));
+}
+
+Variable StMgcnNet::Forward(const TemporalInput& input) const {
+  Variable h = trunk_->Forward(input);
+  const int64_t n = h.value().dim(0), d = h.value().dim(1);
+  const int64_t nodes = nodes_h_ * nodes_w_;
+  Variable rows = PoolToNodeRows(h, *pool_, pool_factor_, nodes_h_, nodes_w_);
+  const Variable adj_geo(adj_geo_);  // constants: no gradient flows to them
+  const Variable adj_sim(adj_sim_);
+
+  std::vector<Variable> out_blocks;
+  out_blocks.reserve(static_cast<size_t>(n));
+  for (int64_t s = 0; s < n; ++s) {
+    Variable x = SliceRowsVar(rows, s * nodes, (s + 1) * nodes);
+    // Parallel graph convolutions over the relation graphs, summed
+    // (ST-MGCN aggregates its multi-graph branches).
+    Variable geo = w_geo_->Forward(MatMulVar(adj_geo, x));
+    Variable sim = w_sim_->Forward(MatMulVar(adj_sim, x));
+    out_blocks.push_back(Relu(Add(Add(geo, sim), w_self_->Forward(x))));
+  }
+  Variable fused = UnpoolAndFuse(ConcatRowsVar(out_blocks), h, n, d,
+                                 nodes_h_, nodes_w_, pool_factor_);
+  return head_->Forward(fused);
+}
+
+// ---------------------------------------------------------------------------
+// GMAN
+// ---------------------------------------------------------------------------
+
+GmanNet::GmanNet(const Hierarchy& hierarchy, const TemporalFeatureSpec& spec,
+                 int64_t channels, int64_t max_nodes, uint64_t seed)
+    : SingleScaleNet(1),
+      h_(hierarchy.atomic_height()),
+      w_(hierarchy.atomic_width()),
+      channels_(channels) {
+  Rng rng(seed);
+  pool_factor_ = PoolFactorFor(h_, w_, max_nodes);
+  nodes_h_ = (h_ + pool_factor_ - 1) / pool_factor_;
+  nodes_w_ = (w_ + pool_factor_ - 1) / pool_factor_;
+  trunk_ = RegisterModule(
+      "trunk", std::make_unique<TemporalTrunk>(spec, channels, &rng));
+  pool_ = RegisterModule(
+      "pool", std::make_unique<Conv2d>(channels, channels, pool_factor_,
+                                       pool_factor_, 0, true, &rng));
+  wq_ = RegisterModule(
+      "wq", std::make_unique<Linear>(channels, channels, false, &rng));
+  wk_ = RegisterModule(
+      "wk", std::make_unique<Linear>(channels, channels, false, &rng));
+  wv_ = RegisterModule(
+      "wv", std::make_unique<Linear>(channels, channels, false, &rng));
+  gate_ = RegisterModule(
+      "gate", std::make_unique<Linear>(channels, channels, true, &rng));
+  head_ = RegisterModule(
+      "head", std::make_unique<Conv2d>(channels, 1, 1, 1, 0, true, &rng));
+}
+
+Variable GmanNet::Forward(const TemporalInput& input) const {
+  Variable h = trunk_->Forward(input);
+  const int64_t n = h.value().dim(0), d = h.value().dim(1);
+  const int64_t nodes = nodes_h_ * nodes_w_;
+  Variable rows = PoolToNodeRows(h, *pool_, pool_factor_, nodes_h_, nodes_w_);
+  const float inv_sqrt_d =
+      1.0f / std::sqrt(static_cast<float>(channels_));
+
+  std::vector<Variable> out_blocks;
+  out_blocks.reserve(static_cast<size_t>(n));
+  for (int64_t s = 0; s < n; ++s) {
+    Variable x = SliceRowsVar(rows, s * nodes, (s + 1) * nodes);
+    Variable q = wq_->Forward(x);
+    Variable k = wk_->Forward(x);
+    Variable v = wv_->Forward(x);
+    Variable attn =
+        SoftmaxRowsVar(Scale(MatMulTransBVar(q, k), inv_sqrt_d));
+    Variable attended = MatMulVar(attn, v);
+    // Gated fusion (GMAN's gated skip): g*attended + (1-g)*x.
+    Variable g = Sigmoid(gate_->Forward(x));
+    Variable ones(Tensor::Ones(g.value().shape()));
+    out_blocks.push_back(
+        Add(Mul(g, attended), Mul(Sub(ones, g), x)));
+  }
+  Variable fused = UnpoolAndFuse(ConcatRowsVar(out_blocks), h, n, d,
+                                 nodes_h_, nodes_w_, pool_factor_);
+  return head_->Forward(fused);
+}
+
+}  // namespace one4all

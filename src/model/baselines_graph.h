@@ -1,0 +1,87 @@
+// Graph-based deep baselines from Table I: GraphWaveNet (adaptive
+// adjacency), ST-MGCN (multi-graph convolution) and GMAN (spatial
+// attention). Each pools the atomic raster to a node set of tractable
+// size (road-network-like coarse nodes), runs its graph operator, and
+// unpools back to the atomic raster for the prediction head.
+#ifndef ONE4ALL_MODEL_BASELINES_GRAPH_H_
+#define ONE4ALL_MODEL_BASELINES_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "model/baselines_cnn.h"
+
+namespace one4all {
+
+/// \brief Picks the smallest pooling factor that brings H*W under
+/// `max_nodes` (1 when the raster is already small enough).
+int64_t PoolFactorFor(int64_t h, int64_t w, int64_t max_nodes);
+
+/// \brief GraphWaveNet (Wu et al., IJCAI'19): self-adaptive adjacency
+/// A = softmax(relu(E1 E2^T)) learned end-to-end, two diffusion steps.
+class GwnNet : public SingleScaleNet {
+ public:
+  GwnNet(const Hierarchy& hierarchy, const TemporalFeatureSpec& spec,
+         int64_t channels, int64_t embedding_dim, int64_t max_nodes,
+         uint64_t seed);
+  Variable Forward(const TemporalInput& input) const override;
+  std::string Name() const override { return "GWN"; }
+
+ private:
+  int64_t h_, w_, pool_factor_, nodes_h_, nodes_w_;
+  TemporalTrunk* trunk_;
+  Conv2d* pool_;
+  Variable e1_, e2_;  // node embeddings for the adaptive adjacency
+  Linear* w_self_;
+  Linear* w_diff1_;
+  Linear* w_diff2_;
+  Conv2d* head_;
+};
+
+/// \brief ST-MGCN (Geng et al., AAAI'19): parallel graph convolutions over
+/// multiple fixed relation graphs (spatial proximity + flow similarity),
+/// summed before the head.
+class StMgcnNet : public SingleScaleNet {
+ public:
+  /// \param dataset Used only to derive the flow-similarity graph from
+  /// training frames; not retained.
+  StMgcnNet(const STDataset& dataset, int64_t channels, int64_t max_nodes,
+            uint64_t seed);
+  Variable Forward(const TemporalInput& input) const override;
+  std::string Name() const override { return "ST-MGCN"; }
+
+ private:
+  int64_t h_, w_, pool_factor_, nodes_h_, nodes_w_;
+  TemporalTrunk* trunk_;
+  Conv2d* pool_;
+  Tensor adj_geo_;  // row-normalized 4-neighbourhood graph
+  Tensor adj_sim_;  // row-normalized flow-similarity kNN graph
+  Linear* w_geo_;
+  Linear* w_sim_;
+  Linear* w_self_;
+  Conv2d* head_;
+};
+
+/// \brief GMAN (Zheng et al., AAAI'20): spatial self-attention over coarse
+/// nodes with a gated skip connection.
+class GmanNet : public SingleScaleNet {
+ public:
+  GmanNet(const Hierarchy& hierarchy, const TemporalFeatureSpec& spec,
+          int64_t channels, int64_t max_nodes, uint64_t seed);
+  Variable Forward(const TemporalInput& input) const override;
+  std::string Name() const override { return "GMAN"; }
+
+ private:
+  int64_t h_, w_, pool_factor_, nodes_h_, nodes_w_, channels_;
+  TemporalTrunk* trunk_;
+  Conv2d* pool_;
+  Linear* wq_;
+  Linear* wk_;
+  Linear* wv_;
+  Linear* gate_;
+  Conv2d* head_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_MODEL_BASELINES_GRAPH_H_

@@ -1,0 +1,295 @@
+#include "model/baselines_simple.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace one4all {
+
+std::vector<int> HistoryMeanPredictor::NativeLayers(
+    const STDataset& dataset) const {
+  std::vector<int> layers;
+  for (int l = 1; l <= dataset.hierarchy().num_layers(); ++l) {
+    layers.push_back(l);
+  }
+  return layers;
+}
+
+Tensor HistoryMeanPredictor::PredictLayer(
+    const STDataset& dataset, const std::vector<int64_t>& timesteps,
+    int layer) {
+  const TemporalFeatureSpec& spec = dataset.spec();
+  std::vector<int64_t> offsets;
+  for (int64_t i = 1; i <= closeness_; ++i) offsets.push_back(i);
+  for (int64_t i = 1; i <= daily_; ++i) {
+    offsets.push_back(i * spec.daily_interval);
+  }
+  for (int64_t i = 1; i <= weekly_; ++i) {
+    offsets.push_back(i * spec.weekly_interval);
+  }
+  const LayerInfo& info = dataset.hierarchy().layer(layer);
+  const int64_t n = static_cast<int64_t>(timesteps.size());
+  Tensor out({n, 1, info.height, info.width});
+  const float inv = 1.0f / static_cast<float>(offsets.size());
+  for (int64_t s = 0; s < n; ++s) {
+    float* dst = out.data() + s * info.height * info.width;
+    for (int64_t off : offsets) {
+      const Tensor& f =
+          dataset.FrameAtLayer(timesteps[static_cast<size_t>(s)] - off, layer);
+      const float* src = f.data();
+      for (int64_t i = 0; i < info.height * info.width; ++i) {
+        dst[i] += src[i] * inv;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GBRT
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Flat regression tree: nodes stored in an array, leaves hold the value.
+struct TreeNode {
+  int feature = -1;        // -1 marks a leaf
+  float threshold = 0.0f;
+  float value = 0.0f;      // leaf prediction
+  int left = -1, right = -1;
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;
+
+  float Predict(const float* features) const {
+    int idx = 0;
+    while (nodes[static_cast<size_t>(idx)].feature >= 0) {
+      const TreeNode& n = nodes[static_cast<size_t>(idx)];
+      idx = features[n.feature] <= n.threshold ? n.left : n.right;
+    }
+    return nodes[static_cast<size_t>(idx)].value;
+  }
+};
+
+struct SplitResult {
+  int feature = -1;
+  float threshold = 0.0f;
+  double gain = 0.0;
+};
+
+}  // namespace
+
+struct GbrtPredictor::Impl {
+  GbrtOptions options;
+  std::vector<Tree> trees;
+  float base_prediction = 0.0f;
+  int64_t num_features = 0;
+
+  // Builds features for cell (r,c) at time t into `out` (num_features).
+  void BuildFeatures(const STDataset& ds, int64_t t, int64_t r, int64_t c,
+                     float* out) const {
+    const TemporalFeatureSpec& spec = ds.spec();
+    int64_t k = 0;
+    for (int64_t i = 1; i <= spec.closeness_len; ++i) {
+      out[k++] = ds.FrameAtLayer(t - i, 1).at(r, c);
+    }
+    for (int64_t i = 1; i <= spec.period_len; ++i) {
+      out[k++] = ds.FrameAtLayer(t - i * spec.daily_interval, 1).at(r, c);
+    }
+    for (int64_t i = 1; i <= spec.trend_len; ++i) {
+      out[k++] = ds.FrameAtLayer(t - i * spec.weekly_interval, 1).at(r, c);
+    }
+    // Calendar context (hour-of-day phase, day-of-week).
+    const double hour =
+        static_cast<double>(t % spec.daily_interval) /
+        static_cast<double>(spec.daily_interval);
+    out[k++] = static_cast<float>(std::sin(2.0 * M_PI * hour));
+    out[k++] = static_cast<float>(std::cos(2.0 * M_PI * hour));
+    out[k++] = static_cast<float>((t / spec.daily_interval) % 7);
+    O4A_CHECK_EQ(k, num_features);
+  }
+
+  SplitResult FindBestSplit(const std::vector<float>& x,
+                            const std::vector<float>& residual,
+                            const std::vector<int>& rows, Rng* rng) const {
+    SplitResult best;
+    if (static_cast<int>(rows.size()) < 2 * options.min_samples_leaf) {
+      return best;
+    }
+    double total_sum = 0.0;
+    for (int r : rows) total_sum += residual[static_cast<size_t>(r)];
+    const double total_cnt = static_cast<double>(rows.size());
+
+    for (int64_t f = 0; f < num_features; ++f) {
+      // Candidate thresholds from random row values (cheap quantile proxy).
+      std::vector<float> cands;
+      cands.reserve(static_cast<size_t>(options.threshold_candidates));
+      for (int i = 0; i < options.threshold_candidates; ++i) {
+        const int r = rows[static_cast<size_t>(
+            rng->UniformInt(static_cast<uint64_t>(rows.size())))];
+        cands.push_back(
+            x[static_cast<size_t>(r) * static_cast<size_t>(num_features) +
+              static_cast<size_t>(f)]);
+      }
+      std::sort(cands.begin(), cands.end());
+      cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+      for (float thr : cands) {
+        double left_sum = 0.0;
+        int left_cnt = 0;
+        for (int r : rows) {
+          if (x[static_cast<size_t>(r) * static_cast<size_t>(num_features) +
+                static_cast<size_t>(f)] <= thr) {
+            left_sum += residual[static_cast<size_t>(r)];
+            ++left_cnt;
+          }
+        }
+        const int right_cnt = static_cast<int>(rows.size()) - left_cnt;
+        if (left_cnt < options.min_samples_leaf ||
+            right_cnt < options.min_samples_leaf) {
+          continue;
+        }
+        const double right_sum = total_sum - left_sum;
+        // Variance-reduction gain (squared-loss boosting).
+        const double gain = left_sum * left_sum / left_cnt +
+                            right_sum * right_sum / right_cnt -
+                            total_sum * total_sum / total_cnt;
+        if (gain > best.gain) {
+          best.feature = static_cast<int>(f);
+          best.threshold = thr;
+          best.gain = gain;
+        }
+      }
+    }
+    return best;
+  }
+
+  int BuildNode(Tree* tree, const std::vector<float>& x,
+                const std::vector<float>& residual,
+                const std::vector<int>& rows, int depth, Rng* rng) {
+    const int idx = static_cast<int>(tree->nodes.size());
+    tree->nodes.emplace_back();
+    double sum = 0.0;
+    for (int r : rows) sum += residual[static_cast<size_t>(r)];
+    const float mean =
+        rows.empty() ? 0.0f
+                     : static_cast<float>(sum / static_cast<double>(rows.size()));
+    if (depth >= options.max_depth) {
+      tree->nodes[static_cast<size_t>(idx)].value = mean;
+      return idx;
+    }
+    const SplitResult split = FindBestSplit(x, residual, rows, rng);
+    if (split.feature < 0 || split.gain <= 1e-9) {
+      tree->nodes[static_cast<size_t>(idx)].value = mean;
+      return idx;
+    }
+    std::vector<int> left_rows, right_rows;
+    for (int r : rows) {
+      if (x[static_cast<size_t>(r) * static_cast<size_t>(num_features) +
+            static_cast<size_t>(split.feature)] <= split.threshold) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    const int left = BuildNode(tree, x, residual, left_rows, depth + 1, rng);
+    const int right = BuildNode(tree, x, residual, right_rows, depth + 1, rng);
+    TreeNode& node = tree->nodes[static_cast<size_t>(idx)];
+    node.feature = split.feature;
+    node.threshold = split.threshold;
+    node.left = left;
+    node.right = right;
+    return idx;
+  }
+};
+
+GbrtPredictor::GbrtPredictor(GbrtOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+}
+
+GbrtPredictor::~GbrtPredictor() = default;
+
+int GbrtPredictor::num_trees() const {
+  return static_cast<int>(impl_->trees.size());
+}
+
+void GbrtPredictor::Fit(const STDataset& dataset) {
+  const TemporalFeatureSpec& spec = dataset.spec();
+  impl_->num_features = spec.TotalObservations() + 3;
+  const int64_t h = dataset.hierarchy().atomic_height();
+  const int64_t w = dataset.hierarchy().atomic_width();
+
+  // Sample (t, cell) training rows up to the cap.
+  Rng rng(impl_->options.seed);
+  const auto& train = dataset.train_indices();
+  const int64_t total_rows =
+      static_cast<int64_t>(train.size()) * h * w;
+  const int64_t n_rows =
+      std::min<int64_t>(impl_->options.max_rows, total_rows);
+  std::vector<float> x(static_cast<size_t>(n_rows) *
+                       static_cast<size_t>(impl_->num_features));
+  std::vector<float> y(static_cast<size_t>(n_rows));
+  for (int64_t i = 0; i < n_rows; ++i) {
+    const int64_t t = train[static_cast<size_t>(
+        rng.UniformInt(static_cast<uint64_t>(train.size())))];
+    const int64_t r = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(h)));
+    const int64_t c = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(w)));
+    impl_->BuildFeatures(dataset, t, r, c,
+                         x.data() + static_cast<size_t>(i) *
+                                        static_cast<size_t>(impl_->num_features));
+    y[static_cast<size_t>(i)] = dataset.FrameAtLayer(t, 1).at(r, c);
+  }
+
+  double mean = 0.0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(n_rows);
+  impl_->base_prediction = static_cast<float>(mean);
+
+  std::vector<float> residual(y.size());
+  std::vector<float> current(y.size(), impl_->base_prediction);
+  std::vector<int> all_rows(static_cast<size_t>(n_rows));
+  for (int64_t i = 0; i < n_rows; ++i) all_rows[static_cast<size_t>(i)] = static_cast<int>(i);
+
+  impl_->trees.clear();
+  for (int t = 0; t < impl_->options.num_trees; ++t) {
+    for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - current[i];
+    Tree tree;
+    impl_->BuildNode(&tree, x, residual, all_rows, 0, &rng);
+    for (size_t i = 0; i < y.size(); ++i) {
+      current[i] += impl_->options.learning_rate *
+                    tree.Predict(x.data() + i * static_cast<size_t>(
+                                                    impl_->num_features));
+    }
+    impl_->trees.push_back(std::move(tree));
+  }
+}
+
+Tensor GbrtPredictor::PredictLayer(const STDataset& dataset,
+                                   const std::vector<int64_t>& timesteps,
+                                   int layer) {
+  O4A_CHECK(!impl_->trees.empty()) << "GbrtPredictor::Fit not called";
+  const int64_t h = dataset.hierarchy().atomic_height();
+  const int64_t w = dataset.hierarchy().atomic_width();
+  const int64_t n = static_cast<int64_t>(timesteps.size());
+  Tensor atomic({n, 1, h, w});
+  std::vector<float> feat(static_cast<size_t>(impl_->num_features));
+  for (int64_t s = 0; s < n; ++s) {
+    const int64_t t = timesteps[static_cast<size_t>(s)];
+    for (int64_t r = 0; r < h; ++r) {
+      for (int64_t c = 0; c < w; ++c) {
+        impl_->BuildFeatures(dataset, t, r, c, feat.data());
+        float pred = impl_->base_prediction;
+        for (const Tree& tree : impl_->trees) {
+          pred += impl_->options.learning_rate * tree.Predict(feat.data());
+        }
+        atomic.at(s, 0, r, c) = std::max(0.0f, pred);
+      }
+    }
+  }
+  return AggregatePrediction(dataset, atomic, layer);
+}
+
+}  // namespace one4all

@@ -1,0 +1,70 @@
+// Non-deep baselines from Table I: HM (history mean) and a gradient-
+// boosted regression tree model standing in for XGBoost.
+#ifndef ONE4ALL_MODEL_BASELINES_SIMPLE_H_
+#define ONE4ALL_MODEL_BASELINES_SIMPLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/predictor.h"
+
+namespace one4all {
+
+/// \brief HM: predicts the mean of selected historical records. The paper
+/// grid-searched one closeness, three daily and one weekly record.
+class HistoryMeanPredictor : public FlowPredictor {
+ public:
+  HistoryMeanPredictor(int64_t closeness = 1, int64_t daily = 3,
+                       int64_t weekly = 1)
+      : closeness_(closeness), daily_(daily), weekly_(weekly) {}
+
+  std::string Name() const override { return "HM"; }
+  std::vector<int> NativeLayers(const STDataset& dataset) const override;
+  Tensor PredictLayer(const STDataset& dataset,
+                      const std::vector<int64_t>& timesteps,
+                      int layer) override;
+
+ private:
+  int64_t closeness_, daily_, weekly_;
+};
+
+/// \brief Gradient-boosted regression trees on per-cell history features
+/// (XGBoost stand-in; exact greedy splits over quantile candidates).
+struct GbrtOptions {
+  int num_trees = 30;
+  int max_depth = 3;
+  float learning_rate = 0.15f;
+  int max_rows = 60000;          ///< training-row subsample cap
+  int threshold_candidates = 15; ///< split thresholds tried per feature
+  int min_samples_leaf = 20;
+  uint64_t seed = 31;
+};
+
+class GbrtPredictor : public FlowPredictor {
+ public:
+  explicit GbrtPredictor(GbrtOptions options = {});
+  ~GbrtPredictor() override;
+
+  /// \brief Fits trees on the dataset's training split (atomic scale).
+  void Fit(const STDataset& dataset);
+
+  std::string Name() const override { return "XGBoost"; }
+  std::vector<int> NativeLayers(const STDataset& dataset) const override {
+    (void)dataset;
+    return {1};
+  }
+  Tensor PredictLayer(const STDataset& dataset,
+                      const std::vector<int64_t>& timesteps,
+                      int layer) override;
+
+  /// \brief Number of fitted trees (0 before Fit).
+  int num_trees() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_MODEL_BASELINES_SIMPLE_H_

@@ -1,0 +1,100 @@
+#include "model/hierarchy_search.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace one4all {
+
+std::vector<std::vector<int64_t>> EnumerateWindowSequences(
+    const std::vector<int64_t>& candidates, int64_t max_scale) {
+  std::set<std::vector<int64_t>> unique;
+  std::vector<int64_t> current;
+
+  // Depth-first enumeration; a sequence is emitted when no candidate
+  // window can extend it within max_scale.
+  std::function<void(int64_t)> recurse = [&](int64_t scale) {
+    bool extended = false;
+    for (int64_t k : candidates) {
+      if (scale * k <= max_scale) {
+        current.push_back(k);
+        recurse(scale * k);
+        current.pop_back();
+        extended = true;
+      }
+    }
+    if (!extended && !current.empty()) unique.insert(current);
+  };
+  recurse(1);
+  return {unique.begin(), unique.end()};
+}
+
+Result<HierarchySearchResult> SearchHierarchyStructure(
+    const SyntheticFlows& flows, const TemporalFeatureSpec& spec,
+    const HierarchySearchOptions& options) {
+  if (flows.frames.empty()) {
+    return Status::InvalidArgument("no flow frames");
+  }
+  const int64_t h = flows.frames[0].dim(0);
+  const int64_t w = flows.frames[0].dim(1);
+  const auto sequences =
+      EnumerateWindowSequences(options.candidate_windows, options.max_scale);
+  if (sequences.empty()) {
+    return Status::InvalidArgument(
+        "no window sequence fits under max_scale");
+  }
+
+  HierarchySearchResult result;
+  float best_loss = 0.0f;
+  bool have_best = false;
+  for (const auto& windows : sequences) {
+    auto hierarchy = Hierarchy::Create(h, w, windows);
+    if (!hierarchy.ok()) continue;  // degenerate for this raster
+
+    // Fresh dataset per candidate (aggregation pyramids differ).
+    SyntheticFlows copy;
+    copy.frames = flows.frames;
+    copy.base_rate = flows.base_rate;
+    copy.steps_per_day = flows.steps_per_day;
+    auto dataset = STDataset::Create(std::move(copy),
+                                     hierarchy.MoveValueUnsafe(), spec);
+    O4A_RETURN_NOT_OK(dataset.status());
+
+    One4AllNetOptions net_options;
+    net_options.channels = options.channels;
+    net_options.seed = options.seed;
+    One4AllNet net(dataset->hierarchy(), dataset->spec(), net_options);
+
+    HierarchyCandidate candidate;
+    candidate.windows = windows;
+    candidate.scales = dataset->hierarchy().Scales();
+    candidate.num_parameters = net.NumParameters();
+    candidate.within_budget =
+        options.parameter_budget <= 0 ||
+        candidate.num_parameters <= options.parameter_budget;
+
+    if (candidate.within_budget) {
+      auto loss_fn = [&net](const STDataset& ds,
+                            const std::vector<int64_t>& batch) {
+        return net.Loss(ds, batch);
+      };
+      TrainModel(&net, *dataset, loss_fn, options.train);
+      candidate.val_loss = EvaluateLoss(*dataset, loss_fn,
+                                        dataset->val_indices(),
+                                        options.train.batch_size);
+      if (!have_best || candidate.val_loss < best_loss) {
+        best_loss = candidate.val_loss;
+        result.best_index = result.candidates.size();
+        have_best = true;
+      }
+    }
+    result.candidates.push_back(std::move(candidate));
+  }
+  if (!have_best) {
+    return Status::FailedPrecondition(
+        "no candidate hierarchy fits the parameter budget");
+  }
+  return result;
+}
+
+}  // namespace one4all

@@ -1,0 +1,63 @@
+// Hierarchical-structure search — the paper's first future-work item
+// (Sec. VII): "develop approaches to determine the optimal hierarchical
+// structure for further reducing computation costs in resource-limited
+// scenarios". Enumerates maximal merging-window sequences (e.g. {2,2,2},
+// {2,4}, {4,2}, {3,3}), trains a short-budget One4AllNet per candidate,
+// and returns the best validation loss within a parameter budget.
+#ifndef ONE4ALL_MODEL_HIERARCHY_SEARCH_H_
+#define ONE4ALL_MODEL_HIERARCHY_SEARCH_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "data/synthetic.h"
+#include "model/one4all_net.h"
+#include "model/trainer.h"
+
+namespace one4all {
+
+struct HierarchySearchOptions {
+  /// Windows considered at each merge step.
+  std::vector<int64_t> candidate_windows = {2, 3, 4};
+  /// Largest scale the hierarchy may reach.
+  int64_t max_scale = 16;
+  /// Reject candidates whose network exceeds this many parameters
+  /// (0 = unlimited) — the "resource-limited scenario".
+  int64_t parameter_budget = 0;
+  /// Short probe-training budget per candidate.
+  TrainOptions train;
+  int64_t channels = 8;
+  uint64_t seed = 71;
+};
+
+struct HierarchyCandidate {
+  std::vector<int64_t> windows;
+  std::vector<int64_t> scales;
+  int64_t num_parameters = 0;
+  float val_loss = 0.0f;
+  bool within_budget = true;
+};
+
+struct HierarchySearchResult {
+  /// All evaluated candidates, in enumeration order.
+  std::vector<HierarchyCandidate> candidates;
+  /// Index into `candidates` of the best within-budget candidate.
+  size_t best_index = 0;
+};
+
+/// \brief Enumerates every maximal window sequence over the candidate set
+/// whose cumulative scale stays <= max_scale ("maximal" = appending any
+/// candidate window would exceed the bound). Sequences are deduplicated.
+std::vector<std::vector<int64_t>> EnumerateWindowSequences(
+    const std::vector<int64_t>& candidates, int64_t max_scale);
+
+/// \brief Runs the search over fresh copies of `flows`.
+/// Validation loss is the multi-task loss (Eq. 12), which is comparable
+/// across hierarchies because every scale's targets are normalized.
+Result<HierarchySearchResult> SearchHierarchyStructure(
+    const SyntheticFlows& flows, const TemporalFeatureSpec& spec,
+    const HierarchySearchOptions& options);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_MODEL_HIERARCHY_SEARCH_H_

@@ -1,0 +1,64 @@
+#include "model/multi_model.h"
+
+namespace one4all {
+
+MultiModelPredictor::MultiModelPredictor(std::string name,
+                                         const STDataset& dataset,
+                                         const Builder& builder,
+                                         uint64_t seed)
+    : name_(std::move(name)) {
+  const int n = dataset.hierarchy().num_layers();
+  models_.reserve(static_cast<size_t>(n));
+  for (int l = 1; l <= n; ++l) {
+    models_.push_back(builder(l, seed + static_cast<uint64_t>(l) * 131));
+    O4A_CHECK_EQ(models_.back()->native_layer(), l);
+  }
+}
+
+TrainReport MultiModelPredictor::TrainAll(const STDataset& dataset,
+                                          const TrainOptions& options) {
+  TrainReport total;
+  for (auto& model : models_) {
+    SingleScaleNet* net = model.get();
+    TrainReport r = TrainModel(
+        net, dataset,
+        [net](const STDataset& ds, const std::vector<int64_t>& batch) {
+          return net->Loss(ds, batch);
+        },
+        options);
+    total.seconds_per_epoch += r.seconds_per_epoch;
+    total.total_seconds += r.total_seconds;
+    if (total.train_losses.size() < r.train_losses.size()) {
+      total.train_losses.resize(r.train_losses.size(), 0.0f);
+    }
+    for (size_t i = 0; i < r.train_losses.size(); ++i) {
+      total.train_losses[i] += r.train_losses[i];
+    }
+  }
+  return total;
+}
+
+std::vector<int> MultiModelPredictor::NativeLayers(
+    const STDataset& dataset) const {
+  std::vector<int> layers;
+  for (int l = 1; l <= dataset.hierarchy().num_layers(); ++l) {
+    layers.push_back(l);
+  }
+  return layers;
+}
+
+Tensor MultiModelPredictor::PredictLayer(const STDataset& dataset,
+                                         const std::vector<int64_t>& timesteps,
+                                         int layer) {
+  O4A_CHECK(layer >= 1 && layer <= static_cast<int>(models_.size()));
+  return models_[static_cast<size_t>(layer - 1)]->PredictLayer(
+      dataset, timesteps, layer);
+}
+
+int64_t MultiModelPredictor::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& model : models_) total += model->NumParameters();
+  return total;
+}
+
+}  // namespace one4all

@@ -1,0 +1,48 @@
+// The paper's "enhanced methods" (Table I): M-ST-ResNet and M-STRN train
+// one single-scale model per hierarchy layer (on that layer's aggregated
+// raster) and serve each layer natively — at a cost of num_layers times
+// the parameters (Table II reports "0.59M x 6").
+#ifndef ONE4ALL_MODEL_MULTI_MODEL_H_
+#define ONE4ALL_MODEL_MULTI_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/baselines_cnn.h"
+#include "model/trainer.h"
+
+namespace one4all {
+
+/// \brief A bank of per-layer single-scale models acting as one
+/// multi-scale predictor.
+class MultiModelPredictor : public FlowPredictor {
+ public:
+  /// \brief Builds a single-scale model for `layer` seeded by `seed`.
+  using Builder =
+      std::function<std::unique_ptr<SingleScaleNet>(int layer, uint64_t seed)>;
+
+  MultiModelPredictor(std::string name, const STDataset& dataset,
+                      const Builder& builder, uint64_t seed);
+
+  /// \brief Trains every per-layer model; returns the summed wall clock.
+  TrainReport TrainAll(const STDataset& dataset, const TrainOptions& options);
+
+  std::string Name() const override { return name_; }
+  std::vector<int> NativeLayers(const STDataset& dataset) const override;
+  Tensor PredictLayer(const STDataset& dataset,
+                      const std::vector<int64_t>& timesteps,
+                      int layer) override;
+  int64_t NumParameters() const override;
+
+  int num_models() const { return static_cast<int>(models_.size()); }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<SingleScaleNet>> models_;  // index = layer-1
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_MODEL_MULTI_MODEL_H_

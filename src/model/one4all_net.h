@@ -1,0 +1,90 @@
+// The One4All-ST hierarchical multi-scale spatio-temporal network
+// (paper Sec. IV-B, Fig. 6): temporal modeling (Eq. 6-7), hierarchical
+// spatial modeling (Eq. 8), cross-scale top-down enhancement (Eq. 9),
+// and per-scale prediction heads (Eq. 10) trained with the
+// scale-normalized multi-task loss (Eq. 11-12).
+#ifndef ONE4ALL_MODEL_ONE4ALL_NET_H_
+#define ONE4ALL_MODEL_ONE4ALL_NET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "model/predictor.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace one4all {
+
+struct One4AllNetOptions {
+  int64_t channels = 16;  ///< D: width of every feature map
+  SpatialBlockType block = SpatialBlockType::kSE;
+  /// Ablation switches (Table IV):
+  bool hierarchical_spatial_modeling = true;  ///< w/o HSM when false
+  bool scale_normalization = true;            ///< w/o SN when false
+  /// Extension ablation (not in the paper's Table IV, but its Sec. IV-B3
+  /// motivates it): disable the top-down cross-scale pathway.
+  bool cross_scale = true;
+  uint64_t seed = 1;
+};
+
+/// \brief The unified multi-scale network. Operates on whatever hierarchy
+/// the dataset carries; forward emits one normalized prediction per layer.
+class One4AllNet : public Module, public FlowPredictor {
+ public:
+  One4AllNet(const Hierarchy& hierarchy, const TemporalFeatureSpec& spec,
+             const One4AllNetOptions& options);
+
+  /// \brief Normalized predictions for every layer: [N,1,Hl,Wl] each.
+  std::vector<Variable> Forward(const TemporalInput& input) const;
+
+  /// \brief Multi-task loss (Eq. 12): the sum over layers of MSE between
+  /// normalized predictions and normalized targets.
+  Variable Loss(const STDataset& dataset,
+                const std::vector<int64_t>& batch) const;
+
+  // -- FlowPredictor ------------------------------------------------------
+  std::string Name() const override;
+  std::vector<int> NativeLayers(const STDataset& dataset) const override;
+  Tensor PredictLayer(const STDataset& dataset,
+                      const std::vector<int64_t>& timesteps,
+                      int layer) override;
+  std::vector<Tensor> PredictAllLayers(
+      const STDataset& dataset,
+      const std::vector<int64_t>& timesteps) override;
+  int64_t NumParameters() const override { return Module::NumParameters(); }
+
+  const One4AllNetOptions& options() const { return options_; }
+
+ private:
+  /// \brief Which layer's stats normalize layer `l` targets (w/o SN -> 1).
+  int StatsLayerFor(int l) const {
+    return options_.scale_normalization ? l : 1;
+  }
+
+  One4AllNetOptions options_;
+  int n_layers_;
+  std::vector<int64_t> windows_;       // windows_[i]: merge into layer i+2
+  std::vector<int64_t> layer_heights_, layer_widths_;
+  std::vector<int64_t> layer_scales_;
+
+  // Temporal modeling (three non-shared convolutions, Eq. 7).
+  Conv2d* conv_closeness_;
+  Conv2d* conv_period_;
+  Conv2d* conv_trend_;
+  Conv2d* fuse_;  // 1x1 fusion of the concatenated temporal features
+
+  // Hierarchical spatial modeling: merge + block per layer >= 2 (Eq. 8).
+  std::vector<Conv2d*> merges_;
+  std::vector<SpatialBlock*> blocks_;
+  SpatialBlock* block_l1_;  // spatial block at the atomic scale
+
+  // Per-scale heads (Eq. 10): per-pixel two-layer MLP via 1x1 convs.
+  std::vector<Conv2d*> head_hidden_;
+  std::vector<Conv2d*> head_out_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_MODEL_ONE4ALL_NET_H_

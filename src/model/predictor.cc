@@ -1,0 +1,22 @@
+#include "model/predictor.h"
+
+namespace one4all {
+
+std::vector<Tensor> FlowPredictor::PredictAllLayers(
+    const STDataset& dataset, const std::vector<int64_t>& timesteps) {
+  std::vector<Tensor> out;
+  const int n = dataset.hierarchy().num_layers();
+  out.reserve(static_cast<size_t>(n));
+  for (int l = 1; l <= n; ++l) {
+    out.push_back(PredictLayer(dataset, timesteps, l));
+  }
+  return out;
+}
+
+Tensor AggregatePrediction(const STDataset& dataset, const Tensor& atomic,
+                           int layer) {
+  if (layer == 1) return atomic;
+  return dataset.hierarchy().AggregateBatchToLayer(atomic, layer);
+}
+
+}  // namespace one4all

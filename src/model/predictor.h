@@ -1,0 +1,54 @@
+// Common interface for every forecasting method in the evaluation: given a
+// dataset and a batch of time slots, produce de-normalized flow predictions
+// at a requested hierarchy layer.
+#ifndef ONE4ALL_MODEL_PREDICTOR_H_
+#define ONE4ALL_MODEL_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace one4all {
+
+/// \brief A trained forecasting model.
+///
+/// PredictLayer returns raw (de-normalized) flows [N, 1, Hl, Wl] for the
+/// given time slots. Single-scale models implement NativeLayers() == {1}
+/// and realize coarser layers by sum-aggregating their atomic predictions
+/// (the paper's "aggregation" strategy); multi-scale models predict each
+/// layer natively.
+class FlowPredictor {
+ public:
+  virtual ~FlowPredictor() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// \brief Layers this model predicts natively (without aggregation).
+  virtual std::vector<int> NativeLayers(const STDataset& dataset) const = 0;
+
+  /// \brief De-normalized predictions at `layer` for `timesteps`.
+  virtual Tensor PredictLayer(const STDataset& dataset,
+                              const std::vector<int64_t>& timesteps,
+                              int layer) = 0;
+
+  /// \brief De-normalized predictions for every hierarchy layer at once
+  /// (index l-1 -> [N,1,Hl,Wl]). The default calls PredictLayer per layer;
+  /// models whose forward pass already yields several scales override it
+  /// to avoid redundant computation.
+  virtual std::vector<Tensor> PredictAllLayers(
+      const STDataset& dataset, const std::vector<int64_t>& timesteps);
+
+  /// \brief Trainable parameter count (0 for non-parametric methods).
+  virtual int64_t NumParameters() const { return 0; }
+};
+
+/// \brief Helper: aggregates an atomic prediction batch [N,1,H,W] to
+/// layer `layer` by sum pooling over the hierarchy.
+Tensor AggregatePrediction(const STDataset& dataset, const Tensor& atomic,
+                           int layer);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_MODEL_PREDICTOR_H_

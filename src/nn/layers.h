@@ -1,0 +1,115 @@
+// Neural network layers used by One4All-ST and the baselines: Conv2d,
+// Linear, and the three spatial modeling blocks the paper compares
+// (ConvBlock, ResBlock, SEBlock — Fig. 7 and Sec. V-B6).
+#ifndef ONE4ALL_NN_LAYERS_H_
+#define ONE4ALL_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace one4all {
+
+/// \brief 2-D convolution layer (NCHW).
+class Conv2d : public Module {
+ public:
+  /// \param kernel Square kernel extent.
+  /// \param padding Zero padding on each border; `kernel/2` keeps H,W.
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t padding, bool bias, Rng* rng);
+
+  Variable Forward(const Variable& x) const;
+
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t out_channels_;
+  Conv2dSpec spec_;
+  Variable weight_;
+  Variable bias_;
+};
+
+/// \brief Fully connected layer y = xW + b on 2-D inputs [batch, features].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias, Rng* rng);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  Variable weight_;  // [in, out]
+  Variable bias_;    // [out]
+};
+
+/// \brief Which spatial modeling block a network uses (paper Sec. IV-B2).
+enum class SpatialBlockType { kConv, kRes, kSE };
+
+const char* SpatialBlockTypeName(SpatialBlockType type);
+
+/// \brief Interface for the per-scale spatial modeling block SM(.).
+class SpatialBlock : public Module {
+ public:
+  virtual Variable Forward(const Variable& x) const = 0;
+};
+
+/// \brief Plain Conv+ReLU block (the paper's ConvBlock baseline).
+class ConvBlock : public SpatialBlock {
+ public:
+  ConvBlock(int64_t channels, Rng* rng);
+  Variable Forward(const Variable& x) const override;
+
+ private:
+  Conv2d* conv_;
+};
+
+/// \brief Residual block: x + Conv(ReLU(Conv(ReLU(x)))) (ST-ResNet style).
+class ResBlock : public SpatialBlock {
+ public:
+  ResBlock(int64_t channels, Rng* rng);
+  Variable Forward(const Variable& x) const override;
+
+ protected:
+  /// \brief The residual branch before the skip connection.
+  Variable ResidualBranch(const Variable& x) const;
+
+ private:
+  Conv2d* conv1_;
+  Conv2d* conv2_;
+};
+
+/// \brief Squeeze-and-excitation residual block (paper default, Fig. 7):
+/// the residual branch is re-weighted channel-wise by a squeeze(GAP) ->
+/// FC -> ReLU -> FC -> sigmoid gate before the skip addition.
+class SEBlock : public SpatialBlock {
+ public:
+  /// \param reduction Bottleneck ratio of the excitation MLP.
+  SEBlock(int64_t channels, int64_t reduction, Rng* rng);
+  Variable Forward(const Variable& x) const override;
+
+ private:
+  int64_t channels_;
+  Conv2d* conv1_;
+  Conv2d* conv2_;
+  Linear* fc1_;
+  Linear* fc2_;
+};
+
+/// \brief Factory for the block the network stacks at each scale.
+std::unique_ptr<SpatialBlock> MakeSpatialBlock(SpatialBlockType type,
+                                               int64_t channels, Rng* rng);
+
+/// \brief Two-layer perceptron head: Linear -> ReLU -> Linear.
+class Mlp : public Module {
+ public:
+  Mlp(int64_t in_features, int64_t hidden, int64_t out_features, Rng* rng);
+  Variable Forward(const Variable& x) const;
+
+ private:
+  Linear* fc1_;
+  Linear* fc2_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_NN_LAYERS_H_

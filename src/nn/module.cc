@@ -1,0 +1,144 @@
+#include "nn/module.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace one4all {
+
+Variable Module::RegisterParameter(std::string name, Tensor init) {
+  Variable v(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), v);
+  return v;
+}
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<Variable> out;
+  for (const auto& [name, v] : params_) out.push_back(v);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Variable>> Module::NamedParameters(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, Variable>> out;
+  for (const auto& [name, v] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, v);
+  }
+  for (const auto& [name, child] : children_) {
+    auto sub = child->NamedParameters(prefix.empty() ? name
+                                                     : prefix + "." + name);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Variable& v : Parameters()) total += v.value().numel();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Variable& v : Parameters()) v.ZeroGrad();
+}
+
+Status Module::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  auto params = Parameters();
+  const uint64_t count = params.size();
+  std::fwrite(&count, sizeof(count), 1, f);
+  for (const Variable& v : params) {
+    const auto& shape = v.value().shape();
+    const uint64_t ndim = shape.size();
+    std::fwrite(&ndim, sizeof(ndim), 1, f);
+    for (int64_t d : shape) std::fwrite(&d, sizeof(d), 1, f);
+    const int64_t n = v.value().numel();
+    if (std::fwrite(v.value().data(), sizeof(float),
+                    static_cast<size_t>(n), f) != static_cast<size_t>(n)) {
+      std::fclose(f);
+      return Status::IOError("short write: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status Module::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  auto params = Parameters();
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1 ||
+      count != params.size()) {
+    std::fclose(f);
+    return Status::InvalidArgument("parameter count mismatch in " + path);
+  }
+  for (Variable& v : params) {
+    uint64_t ndim = 0;
+    if (std::fread(&ndim, sizeof(ndim), 1, f) != 1) {
+      std::fclose(f);
+      return Status::IOError("truncated file: " + path);
+    }
+    std::vector<int64_t> shape(ndim);
+    for (auto& d : shape) {
+      if (std::fread(&d, sizeof(d), 1, f) != 1) {
+        std::fclose(f);
+        return Status::IOError("truncated file: " + path);
+      }
+    }
+    if (shape != v.value().shape()) {
+      std::fclose(f);
+      return Status::InvalidArgument("parameter shape mismatch in " + path);
+    }
+    const int64_t n = v.value().numel();
+    if (std::fread(v.mutable_value().data(), sizeof(float),
+                   static_cast<size_t>(n), f) != static_cast<size_t>(n)) {
+      std::fclose(f);
+      return Status::IOError("truncated file: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+namespace init {
+
+namespace {
+int64_t FanIn(const std::vector<int64_t>& shape) {
+  // For conv [F,C,kh,kw]: C*kh*kw. For linear [in,out] stored row-major we
+  // treat dim(0) as fan-in.
+  if (shape.size() == 4) return shape[1] * shape[2] * shape[3];
+  if (shape.size() == 2) return shape[0];
+  int64_t f = 1;
+  for (size_t i = 1; i < shape.size(); ++i) f *= shape[i];
+  return f;
+}
+
+int64_t FanOut(const std::vector<int64_t>& shape) {
+  if (shape.size() == 4) return shape[0] * shape[2] * shape[3];
+  if (shape.size() == 2) return shape[1];
+  return shape.empty() ? 1 : shape[0];
+}
+}  // namespace
+
+Tensor GlorotUniform(std::vector<int64_t> shape, Rng* rng) {
+  const double fan_in = static_cast<double>(FanIn(shape));
+  const double fan_out = static_cast<double>(FanOut(shape));
+  const float limit =
+      static_cast<float>(std::sqrt(6.0 / (fan_in + fan_out)));
+  return Tensor::RandomUniform(std::move(shape), rng, -limit, limit);
+}
+
+Tensor HeNormal(std::vector<int64_t> shape, Rng* rng) {
+  const double fan_in = static_cast<double>(FanIn(shape));
+  const float stddev = static_cast<float>(std::sqrt(2.0 / fan_in));
+  return Tensor::RandomNormal(std::move(shape), rng, 0.0f, stddev);
+}
+
+}  // namespace init
+
+}  // namespace one4all

@@ -1,0 +1,79 @@
+// Module abstraction: a named tree of trainable parameters, in the spirit
+// of torch::nn::Module. Layers construct a fresh autograd graph on every
+// forward call (define-by-run), so control flow is plain C++.
+#ifndef ONE4ALL_NN_MODULE_H_
+#define ONE4ALL_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/autograd.h"
+
+namespace one4all {
+
+/// \brief Base class for neural network components.
+///
+/// Parameters registered through RegisterParameter are Variables with
+/// requires_grad=true; child modules registered through RegisterModule
+/// contribute their parameters to Parameters() in registration order, so
+/// serialization is stable across runs.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// \brief All trainable parameters in registration order (depth-first).
+  std::vector<Variable> Parameters() const;
+
+  /// \brief Named parameters, prefixed with the module path.
+  std::vector<std::pair<std::string, Variable>> NamedParameters(
+      const std::string& prefix = "") const;
+
+  /// \brief Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+  /// \brief Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// \brief Serializes all parameters to a binary file.
+  Status Save(const std::string& path) const;
+
+  /// \brief Restores parameters from a file written by Save(). Shapes must
+  /// match the current registry exactly.
+  Status Load(const std::string& path);
+
+ protected:
+  Module() = default;
+
+  /// \brief Registers a trainable tensor and returns its Variable handle.
+  Variable RegisterParameter(std::string name, Tensor init);
+
+  /// \brief Registers a child module (takes ownership), returns raw pointer.
+  template <typename M>
+  M* RegisterModule(std::string name, std::unique_ptr<M> module) {
+    M* raw = module.get();
+    children_.emplace_back(std::move(name), std::move(module));
+    return raw;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, std::unique_ptr<Module>>> children_;
+};
+
+/// \brief Weight initializers.
+namespace init {
+/// \brief Glorot/Xavier uniform for a [fan_out, fan_in, ...] tensor.
+Tensor GlorotUniform(std::vector<int64_t> shape, Rng* rng);
+/// \brief He/Kaiming normal (good ahead of ReLU).
+Tensor HeNormal(std::vector<int64_t> shape, Rng* rng);
+}  // namespace init
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_NN_MODULE_H_

@@ -1,0 +1,79 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace one4all {
+
+void Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (const Variable& p : params_) total += p.grad().SquaredNorm();
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (Variable& p : params_) {
+    // grad() ensures allocation; scale through the node's buffer.
+    const Tensor& g = p.grad();
+    const_cast<Tensor&>(g).ScaleInPlace(scale);
+  }
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Variable& p : params_) velocity_.emplace_back(p.value().shape());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    const Tensor& g = p.grad();
+    if (momentum_ > 0.0f) {
+      velocity_[i].ScaleInPlace(momentum_).AddInPlace(g);
+      p.mutable_value().AddScaledInPlace(velocity_[i], -lr_);
+    } else {
+      p.mutable_value().AddScaledInPlace(g, -lr_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float step_size = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    const Tensor& g = p.grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    float* pm = m.data();
+    float* pv = v.data();
+    const float* pg = g.data();
+    float* px = p.mutable_value().data();
+    const int64_t n = g.numel();
+    for (int64_t k = 0; k < n; ++k) {
+      pm[k] = beta1_ * pm[k] + (1.0f - beta1_) * pg[k];
+      pv[k] = beta2_ * pv[k] + (1.0f - beta2_) * pg[k] * pg[k];
+      px[k] -= step_size * pm[k] / (std::sqrt(pv[k]) + eps_);
+    }
+  }
+}
+
+}  // namespace one4all

@@ -1,0 +1,66 @@
+// First-order optimizers over Module parameters.
+#ifndef ONE4ALL_NN_OPTIMIZER_H_
+#define ONE4ALL_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace one4all {
+
+/// \brief Interface for gradient-descent optimizers.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// \brief Applies one update using the gradients currently stored on the
+  /// parameters.
+  virtual void Step() = 0;
+
+  /// \brief Clears all parameter gradients.
+  void ZeroGrad() {
+    for (Variable& p : params_) p.ZeroGrad();
+  }
+
+  /// \brief Scales gradients so their global L2 norm is at most max_norm.
+  void ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// \brief Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_NN_OPTIMIZER_H_

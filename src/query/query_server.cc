@@ -1,0 +1,107 @@
+#include "query/query_server.h"
+
+#include "core/stopwatch.h"
+
+namespace one4all {
+
+const char* QueryStrategyName(QueryStrategy strategy) {
+  switch (strategy) {
+    case QueryStrategy::kDirect: return "Direct";
+    case QueryStrategy::kUnion: return "Union";
+    case QueryStrategy::kUnionSubtraction: return "Union & Subtraction";
+  }
+  return "?";
+}
+
+Result<ResolvedQuery> RegionQueryServer::Resolve(
+    const GridMask& region, QueryStrategy strategy) const {
+  if (region.height() != hierarchy_->atomic_height() ||
+      region.width() != hierarchy_->atomic_width()) {
+    return Status::InvalidArgument("region extents do not match hierarchy");
+  }
+  if (region.Empty()) {
+    return Status::InvalidArgument("empty region query");
+  }
+
+  ResolvedQuery resolved;
+  Stopwatch timer;
+  const std::vector<DecomposedPiece> pieces =
+      HierarchicalDecompose(*hierarchy_, region);
+  resolved.decompose_micros = timer.ElapsedMicros();
+  resolved.num_pieces = static_cast<int>(pieces.size());
+
+  timer.Restart();
+  for (const DecomposedPiece& piece : pieces) {
+    switch (strategy) {
+      case QueryStrategy::kDirect:
+        // Each decomposed grid contributes its own prediction.
+        for (const GridId& g : piece.grids) {
+          resolved.terms.push_back(CombinationTerm{g, 1});
+        }
+        break;
+      case QueryStrategy::kUnion:
+        // Single-grid optima from the union DP; multi-grid pieces use the
+        // union of their members' optima.
+        for (const GridId& g : piece.grids) {
+          const Combination* combo = index_->LookupSingle(g);
+          O4A_CHECK(combo != nullptr);
+          resolved.terms.insert(resolved.terms.end(), combo->terms.begin(),
+                                combo->terms.end());
+        }
+        break;
+      case QueryStrategy::kUnionSubtraction: {
+        const Combination* combo = nullptr;
+        if (piece.IsMultiGrid()) {
+          combo = index_->LookupMulti(
+              CombinationSearchResult::KeyFor(*hierarchy_, piece.grids));
+        } else {
+          combo = index_->LookupSingle(piece.grids[0]);
+        }
+        if (combo != nullptr) {
+          resolved.terms.insert(resolved.terms.end(), combo->terms.begin(),
+                                combo->terms.end());
+        } else {
+          // Fallback when the multi-grid was not enumerated (e.g. large
+          // windows): union of member singles.
+          for (const GridId& g : piece.grids) {
+            const Combination* single = index_->LookupSingle(g);
+            O4A_CHECK(single != nullptr);
+            resolved.terms.insert(resolved.terms.end(),
+                                  single->terms.begin(),
+                                  single->terms.end());
+          }
+        }
+        break;
+      }
+    }
+  }
+  resolved.index_micros = timer.ElapsedMicros();
+  return resolved;
+}
+
+double RegionQueryServer::EvaluateTerms(
+    const std::vector<CombinationTerm>& terms, int64_t t) const {
+  double value = 0.0;
+  for (const CombinationTerm& term : terms) {
+    value += static_cast<double>(term.sign) *
+             store_->GetValue(term.grid.layer, t, term.grid.row,
+                              term.grid.col);
+  }
+  return value;
+}
+
+Result<QueryResponse> RegionQueryServer::Predict(
+    const GridMask& region, int64_t t, QueryStrategy strategy) const {
+  O4A_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(region, strategy));
+  QueryResponse response;
+  response.value = EvaluateTerms(resolved.terms, t);
+  response.num_pieces = resolved.num_pieces;
+  response.num_terms = static_cast<int>(resolved.terms.size());
+  response.decompose_micros = resolved.decompose_micros;
+  response.index_micros = resolved.index_micros;
+  response.response_micros =
+      resolved.decompose_micros + resolved.index_micros;
+  return response;
+}
+
+}  // namespace one4all

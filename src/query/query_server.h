@@ -1,0 +1,81 @@
+// Online modifiable-areal-unit prediction (paper Sec. III / IV-D): the
+// region decomposition server splits a region query into hierarchical
+// grids (Algorithm 1), retrieves each piece's optimal combination from the
+// extended quad-tree, and aggregates predicted values from the prediction
+// store. Response time = decomposition + index retrieval, as in Fig. 15.
+#ifndef ONE4ALL_QUERY_QUERY_SERVER_H_
+#define ONE4ALL_QUERY_QUERY_SERVER_H_
+
+#include <vector>
+
+#include "combine/combination.h"
+#include "grid/decompose.h"
+#include "index/quadtree.h"
+#include "kvstore/prediction_store.h"
+
+namespace one4all {
+
+/// \brief How a region query's decomposed pieces are turned into
+/// prediction terms (Table III's three strategies).
+enum class QueryStrategy {
+  kDirect,            ///< sum decomposed grids' own predictions
+  kUnion,             ///< single-grid optima from the union-only DP
+  kUnionSubtraction,  ///< multi-grid optima with subtraction (full system)
+};
+
+const char* QueryStrategyName(QueryStrategy strategy);
+
+/// \brief A region query resolved to signed grid terms (time-independent).
+struct ResolvedQuery {
+  std::vector<CombinationTerm> terms;
+  int num_pieces = 0;
+  double decompose_micros = 0.0;
+  double index_micros = 0.0;
+};
+
+/// \brief Answer to one (region, time) prediction query.
+struct QueryResponse {
+  double value = 0.0;
+  int num_pieces = 0;
+  int num_terms = 0;
+  double decompose_micros = 0.0;
+  double index_micros = 0.0;
+  /// Response time in the paper's sense (decompose + index).
+  double response_micros = 0.0;
+};
+
+/// \brief The online serving component.
+class RegionQueryServer {
+ public:
+  /// \param hierarchy,index,store Must outlive the server.
+  RegionQueryServer(const Hierarchy* hierarchy,
+                    const ExtendedQuadTree* index,
+                    const PredictionStore* store)
+      : hierarchy_(hierarchy), index_(index), store_(store) {
+    O4A_CHECK(hierarchy != nullptr);
+    O4A_CHECK(index != nullptr);
+    O4A_CHECK(store != nullptr);
+  }
+
+  /// \brief Decomposes the region and resolves combination terms without
+  /// touching prediction data (reusable across time slots).
+  Result<ResolvedQuery> Resolve(const GridMask& region,
+                                QueryStrategy strategy) const;
+
+  /// \brief Sums predicted values of resolved terms at time `t`.
+  double EvaluateTerms(const std::vector<CombinationTerm>& terms,
+                       int64_t t) const;
+
+  /// \brief Full query: resolve + evaluate at `t`.
+  Result<QueryResponse> Predict(const GridMask& region, int64_t t,
+                                QueryStrategy strategy) const;
+
+ private:
+  const Hierarchy* hierarchy_;
+  const ExtendedQuadTree* index_;
+  const PredictionStore* store_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_QUERY_QUERY_SERVER_H_

@@ -1,0 +1,388 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace one4all {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  O4A_CHECK_EQ(a.ndim(), 2u);
+  O4A_CHECK_EQ(b.ndim(), 2u);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  O4A_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams through B and C rows for cache friendliness.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  O4A_CHECK_EQ(a.ndim(), 2u);
+  O4A_CHECK_EQ(b.ndim(), 2u);
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  O4A_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  O4A_CHECK_EQ(a.ndim(), 2u);
+  O4A_CHECK_EQ(b.ndim(), 2u);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  O4A_CHECK_EQ(k, b.dim(1));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  O4A_CHECK_EQ(a.ndim(), 2u);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Tensor Im2Col(const Tensor& input, int64_t sample, int64_t kh, int64_t kw,
+              const Conv2dSpec& spec) {
+  O4A_CHECK_EQ(input.ndim(), 4u);
+  const int64_t c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int64_t oh = spec.OutExtent(h, kh), ow = spec.OutExtent(w, kw);
+  O4A_CHECK_GT(oh, 0);
+  O4A_CHECK_GT(ow, 0);
+  Tensor cols({c * kh * kw, oh * ow});
+  float* pc = cols.data();
+  const int64_t plane = h * w;
+  const float* base = input.data() + sample * c * plane;
+  int64_t row = 0;
+  for (int64_t ci = 0; ci < c; ++ci) {
+    const float* chan = base + ci * plane;
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj, ++row) {
+        float* out_row = pc + row * (oh * ow);
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * spec.stride + ki - spec.padding;
+          if (ii < 0 || ii >= h) {
+            std::fill(out_row + oi * ow, out_row + (oi + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* in_row = chan + ii * w;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * spec.stride + kj - spec.padding;
+            out_row[oi * ow + oj] =
+                (jj >= 0 && jj < w) ? in_row[jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void Col2Im(const Tensor& cols, int64_t kh, int64_t kw,
+            const Conv2dSpec& spec, Tensor* grad_input, int64_t sample) {
+  O4A_CHECK(grad_input != nullptr);
+  O4A_CHECK_EQ(grad_input->ndim(), 4u);
+  const int64_t c = grad_input->dim(1), h = grad_input->dim(2),
+                w = grad_input->dim(3);
+  const int64_t oh = spec.OutExtent(h, kh), ow = spec.OutExtent(w, kw);
+  O4A_CHECK_EQ(cols.dim(0), c * kh * kw);
+  O4A_CHECK_EQ(cols.dim(1), oh * ow);
+  const float* pc = cols.data();
+  const int64_t plane = h * w;
+  float* base = grad_input->data() + sample * c * plane;
+  int64_t row = 0;
+  for (int64_t ci = 0; ci < c; ++ci) {
+    float* chan = base + ci * plane;
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj, ++row) {
+        const float* in_row = pc + row * (oh * ow);
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * spec.stride + ki - spec.padding;
+          if (ii < 0 || ii >= h) continue;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * spec.stride + kj - spec.padding;
+            if (jj < 0 || jj >= w) continue;
+            chan[ii * w + jj] += in_row[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const Conv2dSpec& spec) {
+  O4A_CHECK_EQ(input.ndim(), 4u);
+  O4A_CHECK_EQ(weight.ndim(), 4u);
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t f = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  O4A_CHECK_EQ(weight.dim(1), c);
+  const int64_t oh = spec.OutExtent(h, kh), ow = spec.OutExtent(w, kw);
+  const bool has_bias = !bias.empty();
+  if (has_bias) O4A_CHECK_EQ(bias.numel(), f);
+
+  Tensor out({n, f, oh, ow});
+  const Tensor wmat = weight.Reshape({f, c * kh * kw});
+  for (int64_t s = 0; s < n; ++s) {
+    const Tensor cols = Im2Col(input, s, kh, kw, spec);
+    Tensor prod = MatMul(wmat, cols);  // [f, oh*ow]
+    float* dst = out.data() + s * f * oh * ow;
+    const float* src = prod.data();
+    std::copy(src, src + f * oh * ow, dst);
+    if (has_bias) {
+      for (int64_t fi = 0; fi < f; ++fi) {
+        const float bv = bias[fi];
+        float* row = dst + fi * oh * ow;
+        for (int64_t i = 0; i < oh * ow; ++i) row[i] += bv;
+      }
+    }
+  }
+  return out;
+}
+
+void Conv2dBackward(const Tensor& input, const Tensor& weight,
+                    const Tensor& grad_output, const Conv2dSpec& spec,
+                    Tensor* grad_input, Tensor* grad_weight,
+                    Tensor* grad_bias) {
+  const int64_t n = input.dim(0), c = input.dim(1);
+  const int64_t f = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  O4A_CHECK_EQ(grad_output.dim(0), n);
+  O4A_CHECK_EQ(grad_output.dim(1), f);
+
+  if (grad_input) *grad_input = Tensor(input.shape());
+  if (grad_weight) *grad_weight = Tensor(weight.shape());
+  if (grad_bias) *grad_bias = Tensor({f});
+
+  const Tensor wmat = weight.Reshape({f, c * kh * kw});
+  for (int64_t s = 0; s < n; ++s) {
+    // View of this sample's output gradient as [f, oh*ow].
+    Tensor go({f, oh * ow});
+    const float* src = grad_output.data() + s * f * oh * ow;
+    std::copy(src, src + f * oh * ow, go.data());
+
+    if (grad_weight) {
+      const Tensor cols = Im2Col(input, s, kh, kw, spec);
+      // dW += go x cols^T  -> [f, c*kh*kw]
+      Tensor dw = MatMulTransB(go, cols);
+      grad_weight->AddInPlace(dw.Reshape(weight.shape()));
+    }
+    if (grad_input) {
+      // dCols = W^T x go -> [c*kh*kw, oh*ow]
+      Tensor dcols = MatMulTransA(wmat, go);
+      Col2Im(dcols, kh, kw, spec, grad_input, s);
+    }
+    if (grad_bias) {
+      for (int64_t fi = 0; fi < f; ++fi) {
+        const float* row = go.data() + fi * oh * ow;
+        double acc = 0.0;
+        for (int64_t i = 0; i < oh * ow; ++i) acc += row[i];
+        (*grad_bias)[fi] += static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+Tensor GlobalAvgPoolForward(const Tensor& input) {
+  O4A_CHECK_EQ(input.ndim(), 4u);
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  Tensor out({n, c, 1, 1});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = input.data() + (s * c + ci) * h * w;
+      double acc = 0.0;
+      for (int64_t i = 0; i < h * w; ++i) acc += plane[i];
+      out.at(s, ci, 0, 0) = static_cast<float>(acc) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPoolBackward(const Tensor& input, const Tensor& grad_output) {
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  O4A_CHECK_EQ(grad_output.dim(0), n);
+  O4A_CHECK_EQ(grad_output.dim(1), c);
+  Tensor gi(input.shape());
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float g = grad_output.at(s, ci, 0, 0) * inv;
+      float* plane = gi.data() + (s * c + ci) * h * w;
+      for (int64_t i = 0; i < h * w; ++i) plane[i] = g;
+    }
+  }
+  return gi;
+}
+
+Tensor UpsampleNearestForward(const Tensor& input, int64_t factor) {
+  O4A_CHECK_EQ(input.ndim(), 4u);
+  O4A_CHECK_GE(factor, 1);
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  Tensor out({n, c, h * factor, w * factor});
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t i = 0; i < h * factor; ++i) {
+        for (int64_t j = 0; j < w * factor; ++j) {
+          out.at(s, ci, i, j) = input.at(s, ci, i / factor, j / factor);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor UpsampleNearestBackward(const Tensor& grad_output, int64_t factor) {
+  O4A_CHECK_EQ(grad_output.ndim(), 4u);
+  const int64_t n = grad_output.dim(0), c = grad_output.dim(1),
+                oh = grad_output.dim(2), ow = grad_output.dim(3);
+  O4A_CHECK_EQ(oh % factor, 0);
+  O4A_CHECK_EQ(ow % factor, 0);
+  Tensor gi({n, c, oh / factor, ow / factor});
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          gi.at(s, ci, i / factor, j / factor) +=
+              grad_output.at(s, ci, i, j);
+        }
+      }
+    }
+  }
+  return gi;
+}
+
+Tensor ConcatChannels(const std::vector<const Tensor*>& inputs) {
+  O4A_CHECK(!inputs.empty());
+  const Tensor& first = *inputs[0];
+  O4A_CHECK_EQ(first.ndim(), 4u);
+  const int64_t n = first.dim(0), h = first.dim(2), w = first.dim(3);
+  int64_t total_c = 0;
+  for (const Tensor* t : inputs) {
+    O4A_CHECK_EQ(t->ndim(), 4u);
+    O4A_CHECK_EQ(t->dim(0), n);
+    O4A_CHECK_EQ(t->dim(2), h);
+    O4A_CHECK_EQ(t->dim(3), w);
+    total_c += t->dim(1);
+  }
+  Tensor out({n, total_c, h, w});
+  const int64_t plane = h * w;
+  for (int64_t s = 0; s < n; ++s) {
+    int64_t coff = 0;
+    for (const Tensor* t : inputs) {
+      const int64_t c = t->dim(1);
+      const float* src = t->data() + s * c * plane;
+      float* dst = out.data() + (s * total_c + coff) * plane;
+      std::copy(src, src + c * plane, dst);
+      coff += c;
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> SplitChannels(const Tensor& grad_output,
+                                  const std::vector<int64_t>& channel_counts) {
+  O4A_CHECK_EQ(grad_output.ndim(), 4u);
+  const int64_t n = grad_output.dim(0), total_c = grad_output.dim(1),
+                h = grad_output.dim(2), w = grad_output.dim(3);
+  int64_t sum_c = 0;
+  for (int64_t c : channel_counts) sum_c += c;
+  O4A_CHECK_EQ(sum_c, total_c);
+  const int64_t plane = h * w;
+  std::vector<Tensor> grads;
+  grads.reserve(channel_counts.size());
+  for (int64_t c : channel_counts) grads.emplace_back(Tensor({n, c, h, w}));
+  for (int64_t s = 0; s < n; ++s) {
+    int64_t coff = 0;
+    for (size_t gi = 0; gi < channel_counts.size(); ++gi) {
+      const int64_t c = channel_counts[gi];
+      const float* src = grad_output.data() + (s * total_c + coff) * plane;
+      float* dst = grads[gi].data() + s * c * plane;
+      std::copy(src, src + c * plane, dst);
+      coff += c;
+    }
+  }
+  return grads;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  O4A_CHECK_EQ(logits.ndim(), 2u);
+  const int64_t m = logits.dim(0), n = logits.dim(1);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = logits.data() + i * n;
+    float* orow = out.data() + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor SoftmaxRowsBackward(const Tensor& softmax_out,
+                           const Tensor& grad_output) {
+  CheckSameShape(softmax_out, grad_output, "SoftmaxRowsBackward");
+  const int64_t m = softmax_out.dim(0), n = softmax_out.dim(1);
+  Tensor gi({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* s = softmax_out.data() + i * n;
+    const float* g = grad_output.data() + i * n;
+    double dot = 0.0;
+    for (int64_t j = 0; j < n; ++j) dot += static_cast<double>(s[j]) * g[j];
+    float* o = gi.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      o[j] = s[j] * (g[j] - static_cast<float>(dot));
+    }
+  }
+  return gi;
+}
+
+}  // namespace one4all

@@ -1,0 +1,132 @@
+// Dense row-major float tensor. The numeric substrate for the One4All-ST
+// network: value-semantic, contiguous storage, explicit shapes.
+#ifndef ONE4ALL_TENSOR_TENSOR_H_
+#define ONE4ALL_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace one4all {
+
+/// \brief Dense N-dimensional float tensor with row-major contiguous data.
+///
+/// Shapes are vectors of int64_t. Elementwise operators require identical
+/// shapes (no implicit broadcasting — broadcast helpers are explicit, e.g.
+/// AddChannelBias). Copying copies the buffer; moves are cheap.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// \brief Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  /// \brief Wraps existing data; `data.size()` must equal the shape volume.
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> data);
+  /// \brief I.i.d. uniform values in [lo, hi).
+  static Tensor RandomUniform(std::vector<int64_t> shape, Rng* rng,
+                              float lo = 0.0f, float hi = 1.0f);
+  /// \brief I.i.d. normal values.
+  static Tensor RandomNormal(std::vector<int64_t> shape, Rng* rng,
+                             float mean = 0.0f, float stddev = 1.0f);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(size_t i) const {
+    O4A_CHECK_LT(i, shape_.size());
+    return shape_[i];
+  }
+  size_t ndim() const { return shape_.size(); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    O4A_DCHECK(i >= 0 && i < numel_);
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    O4A_DCHECK(i >= 0 && i < numel_);
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// \brief 2-D accessor; requires ndim() == 2.
+  float& at(int64_t i, int64_t j) {
+    O4A_DCHECK(ndim() == 2);
+    return data_[static_cast<size_t>(i * shape_[1] + j)];
+  }
+  float at(int64_t i, int64_t j) const {
+    O4A_DCHECK(ndim() == 2);
+    return data_[static_cast<size_t>(i * shape_[1] + j)];
+  }
+
+  /// \brief 4-D accessor; requires ndim() == 4.
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w) {
+    O4A_DCHECK(ndim() == 4);
+    return data_[static_cast<size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    O4A_DCHECK(ndim() == 4);
+    return data_[static_cast<size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  /// \brief Returns a copy with a new shape of equal volume.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// \brief True when shapes match and all elements are within `atol`.
+  bool AllClose(const Tensor& other, float atol = 1e-5f) const;
+
+  // -- In-place elementwise updates ------------------------------------
+  Tensor& AddInPlace(const Tensor& other);
+  Tensor& SubInPlace(const Tensor& other);
+  Tensor& MulInPlace(const Tensor& other);
+  Tensor& ScaleInPlace(float factor);
+  Tensor& AddScaledInPlace(const Tensor& other, float factor);  // this += f*other
+  void Fill(float value);
+
+  // -- Pure elementwise operations -------------------------------------
+  Tensor Add(const Tensor& other) const;
+  Tensor Sub(const Tensor& other) const;
+  Tensor Mul(const Tensor& other) const;
+  Tensor Div(const Tensor& other) const;
+  Tensor AddScalar(float value) const;
+  Tensor MulScalar(float value) const;
+  /// \brief Applies `fn` to every element.
+  Tensor Map(const std::function<float(float)>& fn) const;
+
+  // -- Reductions -------------------------------------------------------
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  /// \brief Sum of squared elements.
+  float SquaredNorm() const;
+
+  /// \brief Compact debug string: shape plus the first few values.
+  std::string ToString(int64_t max_values = 8) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+  int64_t numel_ = 0;
+
+  static int64_t Volume(const std::vector<int64_t>& shape);
+};
+
+/// \brief Checks two shapes for equality with a fatal diagnostic.
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_TENSOR_TENSOR_H_

@@ -1,0 +1,300 @@
+// Tests for src/combine: combination algebra (Eq. 3/5), the union DP
+// against brute-force enumeration (Lemma 4.2 / Theorem 4.1), and the
+// subtraction guarantee (Theorem 4.3).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "combine/search.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+using testing::OraclePredictor;
+using testing::TinyDataset;
+
+TEST(CombinationTest, SingleTermMaskEqualsGrid) {
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 4);
+  Combination combo = Combination::Single(GridId{2, 1, 1});
+  EXPECT_TRUE(combo.CoversExactly(h, h.MaskOf(GridId{2, 1, 1})));
+  EXPECT_EQ(combo.NumScalesUsed(), 1);
+  EXPECT_FALSE(combo.UsesSubtraction());
+}
+
+TEST(CombinationTest, UnionMinusSubtractionCoversLShape) {
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 4);
+  // Parent L2(0,0) minus child L1(0,0): covers the L of three cells...
+  // at layer-2 granularity: grid L2 covers cells [0,2)x[0,2); subtract
+  // atomic (0,0) -> three atomic cells.
+  Combination combo;
+  combo.terms.push_back(CombinationTerm{GridId{2, 0, 0}, 1});
+  combo.terms.push_back(CombinationTerm{GridId{1, 0, 0}, -1});
+  GridMask region(8, 8);
+  region.Set(0, 1, true);
+  region.Set(1, 0, true);
+  region.Set(1, 1, true);
+  EXPECT_TRUE(combo.CoversExactly(h, region));
+  EXPECT_TRUE(combo.UsesSubtraction());
+  EXPECT_EQ(combo.NumScalesUsed(), 2);
+}
+
+TEST(CombinationTest, AppendWithNegativeSignFlipsTerms) {
+  Combination a = Combination::Single(GridId{1, 0, 0});
+  Combination b;
+  b.terms.push_back(CombinationTerm{GridId{1, 1, 1}, -1});
+  a.Append(b, -1);
+  ASSERT_EQ(a.terms.size(), 2u);
+  EXPECT_EQ(a.terms[1].sign, 1);  // minus times minus
+}
+
+TEST(CombinationTest, EvaluateSumsSignedSeries) {
+  STDataset ds = TinyDataset();
+  OraclePredictor oracle;
+  const auto preds = ScalePredictionSet::FromPredictor(
+      &oracle, ds, ds.val_indices());
+  Combination combo;
+  combo.terms.push_back(CombinationTerm{GridId{2, 0, 0}, 1});
+  combo.terms.push_back(CombinationTerm{GridId{1, 0, 0}, -1});
+  const auto series = combo.Evaluate(preds);
+  // Oracle predictions equal truth, so the series equals aggregated truth
+  // of layer 2 minus the atomic cell.
+  for (size_t i = 0; i < series.size(); ++i) {
+    const int64_t t = ds.val_indices()[i];
+    const float expected =
+        ds.FrameAtLayer(t, 2).at(0, 0) - ds.FrameAtLayer(t, 1).at(0, 0);
+    EXPECT_NEAR(series[i], expected, 1e-3f);
+  }
+}
+
+TEST(PredictionSetTest, TruthMatchesDataset) {
+  STDataset ds = TinyDataset();
+  OraclePredictor oracle;
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  EXPECT_EQ(preds.num_layers(), 3);
+  EXPECT_EQ(preds.num_timesteps(),
+            static_cast<int64_t>(ds.val_indices().size()));
+  for (int l = 1; l <= 3; ++l) {
+    for (int64_t i = 0; i < preds.num_timesteps(); ++i) {
+      EXPECT_NEAR(preds.Truth(l, i, 0, 0),
+                  ds.FrameAtLayer(ds.val_indices()[static_cast<size_t>(i)], l)
+                      .at(0, 0),
+                  1e-4f);
+    }
+  }
+}
+
+TEST(PredictionSetTest, OraclePredictionsEqualTruth) {
+  STDataset ds = TinyDataset();
+  OraclePredictor oracle;  // zero noise
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  const GridId id{2, 1, 1};
+  EXPECT_EQ(preds.PredictionSeries(id), preds.TruthSeries(id));
+}
+
+// Brute-force enumeration of all union combinations of a grid.
+void EnumerateUnionCombos(const Hierarchy& h, const GridId& id,
+                          std::function<void(const Combination&)> yield) {
+  // Either the grid itself...
+  yield(Combination::Single(id));
+  if (id.layer == 1) return;
+  // ...or the cartesian product of children enumerations.
+  const auto children = h.ChildrenOf(id);
+  std::vector<std::vector<Combination>> child_options;
+  for (const GridId& child : children) {
+    std::vector<Combination> options;
+    EnumerateUnionCombos(h, child, [&options](const Combination& c) {
+      options.push_back(c);
+    });
+    child_options.push_back(std::move(options));
+  }
+  std::vector<size_t> pick(child_options.size(), 0);
+  for (;;) {
+    Combination combined;
+    for (size_t i = 0; i < child_options.size(); ++i) {
+      combined.Append(child_options[i][pick[i]]);
+    }
+    yield(combined);
+    size_t k = 0;
+    while (k < pick.size() && ++pick[k] == child_options[k].size()) {
+      pick[k] = 0;
+      ++k;
+    }
+    if (k == pick.size()) break;
+  }
+}
+
+TEST(SearchTest, UnionDpMatchesBruteForce) {
+  STDataset ds = TinyDataset(21);
+  // Noisy oracle: per-layer noise makes some scales better than others.
+  OraclePredictor oracle({2.0, 0.5, 3.0}, 77);
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  SearchOptions options;
+  options.enable_subtraction = false;
+  const auto result =
+      SearchOptimalCombinations(ds.hierarchy(), preds, options);
+
+  // Check every grid of the coarsest two layers against brute force.
+  for (int l = 2; l <= 3; ++l) {
+    const LayerInfo& info = ds.hierarchy().layer(l);
+    for (int64_t r = 0; r < info.height; ++r) {
+      for (int64_t c = 0; c < info.width; ++c) {
+        const GridId id{l, r, c};
+        const auto truth = preds.TruthSeries(id);
+        double best = 1e300;
+        EnumerateUnionCombos(ds.hierarchy(), id,
+                             [&](const Combination& combo) {
+                               best = std::min(
+                                   best,
+                                   SeriesSse(combo.Evaluate(preds), truth));
+                             });
+        EXPECT_NEAR(result.Single(ds.hierarchy(), id).sse, best,
+                    1e-6 * (1.0 + best))
+            << id.ToString();
+      }
+    }
+  }
+}
+
+TEST(SearchTest, NoisyFineScalePushesDpCoarse) {
+  STDataset ds = TinyDataset(22);
+  // Layer 1 predictions are terrible, coarse ones perfect.
+  OraclePredictor oracle({50.0, 0.0, 0.0}, 78);
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  SearchOptions options;
+  options.enable_subtraction = false;
+  const auto result =
+      SearchOptimalCombinations(ds.hierarchy(), preds, options);
+  // Every layer-2 grid should use itself, not its noisy children.
+  const LayerInfo& info = ds.hierarchy().layer(2);
+  for (int64_t r = 0; r < info.height; ++r) {
+    for (int64_t c = 0; c < info.width; ++c) {
+      const auto& best = result.Single(ds.hierarchy(), GridId{2, r, c});
+      ASSERT_EQ(best.combo.terms.size(), 1u);
+      EXPECT_EQ(best.combo.terms[0].grid.layer, 2);
+    }
+  }
+}
+
+TEST(SearchTest, PerfectFineScaleKeepsDpFine) {
+  STDataset ds = TinyDataset(23);
+  OraclePredictor oracle({0.0, 20.0, 20.0}, 79);
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  SearchOptions options;
+  options.enable_subtraction = false;
+  const auto result =
+      SearchOptimalCombinations(ds.hierarchy(), preds, options);
+  const auto& best = result.Single(ds.hierarchy(), GridId{3, 0, 0});
+  // The optimum decomposes fully into atomic grids.
+  for (const auto& term : best.combo.terms) {
+    EXPECT_EQ(term.grid.layer, 1);
+  }
+  EXPECT_EQ(best.combo.terms.size(), 16u);
+}
+
+TEST(SearchTest, MultiGridNeverWorseThanUnion) {
+  STDataset ds = TinyDataset(24);
+  OraclePredictor oracle({4.0, 1.0, 0.2}, 80);
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  const auto result =
+      SearchOptimalCombinations(ds.hierarchy(), preds, SearchOptions{});
+  EXPECT_GT(result.num_multi(), 0u);
+
+  // Theorem 4.3: each stored multi-grid beats (or ties) the pure union of
+  // its members' optima.
+  const Hierarchy& h = ds.hierarchy();
+  for (int l = 1; l < h.num_layers(); ++l) {
+    const LayerInfo& parent_info = h.layer(l + 1);
+    const int64_t k = parent_info.window;
+    for (int64_t pr = 0; pr < parent_info.height; ++pr) {
+      for (int64_t pc = 0; pc < parent_info.width; ++pc) {
+        const GridId parent{l + 1, pr, pc};
+        for (uint32_t mask = 1; mask < (1u << (k * k)); ++mask) {
+          MultiGridKey key{l, pr, pc, mask};
+          const GridBest* multi = result.Multi(key);
+          if (!multi) continue;
+          // Union-of-singles candidate for the same member set.
+          Combination union_combo;
+          std::vector<float> truth(
+              static_cast<size_t>(preds.num_timesteps()), 0.0f);
+          for (const GridId& child : h.ChildrenOf(parent)) {
+            const int64_t pos = (child.row - pr * k) * k + (child.col - pc * k);
+            if (!(mask & (1u << pos))) continue;
+            union_combo.Append(result.Single(h, child).combo);
+            const auto child_truth = preds.TruthSeries(child);
+            for (size_t i = 0; i < truth.size(); ++i) {
+              truth[i] += child_truth[i];
+            }
+          }
+          const double union_sse =
+              SeriesSse(union_combo.Evaluate(preds), truth);
+          EXPECT_LE(multi->sse, union_sse + 1e-6);
+        }
+      }
+    }
+  }
+}
+
+TEST(SearchTest, SubtractionWinsWhenComplementIsPredictable) {
+  // Construct a regime where the parent and one child are clean but the
+  // other children are noisy: subtraction should be selected for the
+  // noisy multi-grid. With per-layer (not per-grid) noise we can still
+  // force it: fine grids noisy, coarse perfect -> for a 3-cell multi-grid
+  // the union costs 3 noisy terms, parent-minus-child costs 1 noisy term.
+  STDataset ds = TinyDataset(25);
+  OraclePredictor oracle({10.0, 0.0, 0.0}, 81);
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  const auto result =
+      SearchOptimalCombinations(ds.hierarchy(), preds, SearchOptions{});
+  EXPECT_GT(result.num_multi_with_subtraction(), 0u);
+
+  // Specifically, 3-member multi-grids (triples) should prefer
+  // parent - single over three singles.
+  const MultiGridKey triple{1, 0, 0, 0b0111};
+  const GridBest* best = result.Multi(triple);
+  ASSERT_NE(best, nullptr);
+  EXPECT_TRUE(best->combo.UsesSubtraction());
+}
+
+TEST(SearchTest, CombinationsSatisfyEq5Coverage) {
+  // Every chosen combination must reduce exactly to its grid's region.
+  STDataset ds = TinyDataset(26);
+  OraclePredictor oracle({3.0, 1.0, 0.5}, 82);
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  const auto result =
+      SearchOptimalCombinations(ds.hierarchy(), preds, SearchOptions{});
+  const Hierarchy& h = ds.hierarchy();
+  for (int l = 1; l <= h.num_layers(); ++l) {
+    const LayerInfo& info = h.layer(l);
+    for (int64_t r = 0; r < info.height; ++r) {
+      for (int64_t c = 0; c < info.width; ++c) {
+        const GridId id{l, r, c};
+        EXPECT_TRUE(
+            result.Single(h, id).combo.CoversExactly(h, h.MaskOf(id)))
+            << id.ToString();
+      }
+    }
+  }
+}
+
+TEST(SearchTest, KeyForComputesPositionMask) {
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 4);
+  // Children (0,0) and (0,1) of parent (0,0): positions 0 and 1.
+  const MultiGridKey key = CombinationSearchResult::KeyFor(
+      h, {GridId{1, 0, 0}, GridId{1, 0, 1}});
+  EXPECT_EQ(key.layer, 1);
+  EXPECT_EQ(key.parent_row, 0);
+  EXPECT_EQ(key.parent_col, 0);
+  EXPECT_EQ(key.position_mask, 0b0011u);
+}
+
+}  // namespace
+}  // namespace one4all

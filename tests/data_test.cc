@@ -1,0 +1,237 @@
+// Unit tests for src/data: synthetic generator statistics, dataset splits,
+// temporal feature assembly, scale normalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+TEST(SyntheticTest, ValidatesOptions) {
+  SyntheticDataOptions options;
+  options.height = 0;
+  EXPECT_FALSE(GenerateSyntheticFlows(options).ok());
+  options = SyntheticDataOptions{};
+  options.num_timesteps = 0;
+  EXPECT_FALSE(GenerateSyntheticFlows(options).ok());
+}
+
+TEST(SyntheticTest, ShapesAndNonNegativity) {
+  SyntheticDataOptions options;
+  options.height = 8;
+  options.width = 6;
+  options.num_timesteps = 48;
+  auto flows = GenerateSyntheticFlows(options);
+  ASSERT_TRUE(flows.ok());
+  EXPECT_EQ(flows->frames.size(), 48u);
+  for (const Tensor& frame : flows->frames) {
+    EXPECT_EQ(frame.shape(), (std::vector<int64_t>{8, 6}));
+    EXPECT_GE(frame.Min(), 0.0f);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticDataOptions options;
+  options.height = 6;
+  options.width = 6;
+  options.num_timesteps = 24;
+  options.seed = 123;
+  auto a = GenerateSyntheticFlows(options);
+  auto b = GenerateSyntheticFlows(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t t = 0; t < a->frames.size(); ++t) {
+    EXPECT_TRUE(a->frames[t].AllClose(b->frames[t]));
+  }
+}
+
+TEST(SyntheticTest, HotspotsCreateSpatialHeterogeneity) {
+  SyntheticDataOptions options = SyntheticDataOptions::TaxiPreset(16, 16);
+  options.num_timesteps = 24 * 7;
+  auto flows = GenerateSyntheticFlows(options);
+  ASSERT_TRUE(flows.ok());
+  // The base-rate surface must have clear hot and cold areas.
+  EXPECT_GT(flows->base_rate.Max(), 5.0f * flows->base_rate.Min());
+}
+
+TEST(SyntheticTest, DailyPeriodicityPresent) {
+  SyntheticDataOptions options = SyntheticDataOptions::TaxiPreset(8, 8);
+  options.num_timesteps = 24 * 14;
+  options.burst_probability = 0.0;
+  auto flows = GenerateSyntheticFlows(options);
+  ASSERT_TRUE(flows.ok());
+  // Citywide totals at the same hour on weekdays correlate strongly.
+  std::vector<float> totals;
+  for (const Tensor& f : flows->frames) totals.push_back(f.Sum());
+  double same_hour = 0.0, shifted = 0.0;
+  int count = 0;
+  for (size_t t = 24; t + 12 < totals.size(); ++t) {
+    same_hour += std::fabs(totals[t] - totals[t - 24]);
+    shifted += std::fabs(totals[t] - totals[t - 12]);
+    ++count;
+  }
+  EXPECT_LT(same_hour / count, shifted / count);
+}
+
+TEST(SyntheticTest, FreightPresetIsSparserThanTaxi) {
+  auto taxi = GenerateSyntheticFlows(SyntheticDataOptions::TaxiPreset(8, 8));
+  auto freight =
+      GenerateSyntheticFlows(SyntheticDataOptions::FreightPreset(8, 8));
+  ASSERT_TRUE(taxi.ok());
+  ASSERT_TRUE(freight.ok());
+  double taxi_total = 0.0, freight_total = 0.0;
+  for (const Tensor& f : taxi->frames) taxi_total += f.Sum();
+  for (const Tensor& f : freight->frames) freight_total += f.Sum();
+  EXPECT_GT(taxi_total, 3.0 * freight_total);
+}
+
+TEST(DatasetTest, SplitsFollowPaperRatios) {
+  STDataset ds = testing::TinyDataset();
+  const int64_t usable = static_cast<int64_t>(
+      ds.train_indices().size() + ds.val_indices().size() +
+      ds.test_indices().size());
+  EXPECT_NEAR(static_cast<double>(ds.test_indices().size()) / usable, 0.2,
+              0.05);
+  EXPECT_NEAR(static_cast<double>(ds.val_indices().size()) / usable, 0.1,
+              0.05);
+  // Ordered, contiguous, non-overlapping.
+  EXPECT_LT(ds.train_indices().back(), ds.val_indices().front());
+  EXPECT_LT(ds.val_indices().back(), ds.test_indices().front());
+  // All sample slots have full history.
+  EXPECT_GE(ds.train_indices().front(), ds.spec().MinHistory());
+}
+
+TEST(DatasetTest, CreateRejectsTooShortSeries) {
+  SyntheticDataOptions options;
+  options.height = 4;
+  options.width = 4;
+  options.num_timesteps = 10;  // < MinHistory of TinySpec (16)
+  auto flows = GenerateSyntheticFlows(options);
+  ASSERT_TRUE(flows.ok());
+  Hierarchy h = Hierarchy::Uniform(4, 4, 2, 4);
+  EXPECT_FALSE(
+      STDataset::Create(flows.MoveValueUnsafe(), h, testing::TinySpec()).ok());
+}
+
+TEST(DatasetTest, CreateRejectsMismatchedExtents) {
+  SyntheticDataOptions options;
+  options.height = 4;
+  options.width = 4;
+  options.num_timesteps = 96;
+  options.steps_per_day = 8;
+  auto flows = GenerateSyntheticFlows(options);
+  ASSERT_TRUE(flows.ok());
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 4);
+  EXPECT_FALSE(
+      STDataset::Create(flows.MoveValueUnsafe(), h, testing::TinySpec()).ok());
+}
+
+TEST(DatasetTest, LayerFramesAreAggregates) {
+  STDataset ds = testing::TinyDataset();
+  for (int l = 2; l <= ds.hierarchy().num_layers(); ++l) {
+    const Tensor expected =
+        ds.hierarchy().AggregateToLayer(ds.FrameAtLayer(20, 1), l);
+    EXPECT_TRUE(ds.FrameAtLayer(20, l).AllClose(expected, 1e-4f));
+  }
+}
+
+TEST(DatasetTest, ScaleStatsGrowWithScale) {
+  STDataset ds = testing::TinyDataset();
+  // Mean flow grows ~K^2 per layer; stats must reflect that (Eq. 11's
+  // motivation: coarse flows are orders of magnitude larger).
+  float prev_mean = ds.StatsOfLayer(1).mean;
+  for (int l = 2; l <= ds.hierarchy().num_layers(); ++l) {
+    const float mean = ds.StatsOfLayer(l).mean;
+    EXPECT_GT(mean, 2.0f * prev_mean);
+    prev_mean = mean;
+  }
+}
+
+TEST(DatasetTest, NormalizeRoundTrip) {
+  STDataset ds = testing::TinyDataset();
+  const Tensor frame = ds.FrameAtLayer(30, 2);
+  const Tensor round =
+      ds.DenormalizeLayer(ds.NormalizeLayer(frame, 2), 2);
+  EXPECT_TRUE(round.AllClose(frame, 1e-3f));
+}
+
+TEST(DatasetTest, NormalizedTrainTargetsAreStandardized) {
+  STDataset ds = testing::TinyDataset();
+  for (int l = 1; l <= ds.hierarchy().num_layers(); ++l) {
+    const Tensor targets = ds.BuildTarget(ds.train_indices(), l);
+    EXPECT_NEAR(targets.Mean(), 0.0f, 0.05f);
+    const float var = targets.SquaredNorm() / targets.numel();
+    EXPECT_NEAR(var, 1.0f, 0.2f) << "layer " << l;
+  }
+}
+
+TEST(DatasetTest, BuildInputStacksCorrectHistory) {
+  STDataset ds = testing::TinyDataset();
+  const TemporalFeatureSpec& spec = ds.spec();
+  const int64_t t = ds.test_indices().front();
+  const TemporalInput input = ds.BuildInput({t});
+  EXPECT_EQ(input.closeness.shape(),
+            (std::vector<int64_t>{1, spec.closeness_len, 8, 8}));
+  EXPECT_EQ(input.period.shape(),
+            (std::vector<int64_t>{1, spec.period_len, 8, 8}));
+  EXPECT_EQ(input.trend.shape(),
+            (std::vector<int64_t>{1, spec.trend_len, 8, 8}));
+  // The last closeness channel is the normalized frame at t-1 (Eq. 6).
+  const Tensor expected = ds.NormalizeLayer(ds.FrameAtLayer(t - 1, 1), 1);
+  const int64_t plane = 64;
+  const float* last_channel =
+      input.closeness.data() + (spec.closeness_len - 1) * plane;
+  for (int64_t i = 0; i < plane; ++i) {
+    EXPECT_NEAR(last_channel[i], expected[i], 1e-4f);
+  }
+  // The first period channel is t - period_len*daily_interval.
+  const Tensor expected_period = ds.NormalizeLayer(
+      ds.FrameAtLayer(t - spec.period_len * spec.daily_interval, 1), 1);
+  for (int64_t i = 0; i < plane; ++i) {
+    EXPECT_NEAR(input.period[i], expected_period[i], 1e-4f);
+  }
+}
+
+TEST(DatasetTest, BuildInputAtLayerUsesAggregatedRaster) {
+  STDataset ds = testing::TinyDataset();
+  const int64_t t = ds.test_indices().front();
+  const TemporalInput input = ds.BuildInputAtLayer({t}, 2);
+  EXPECT_EQ(input.closeness.dim(2), 4);
+  const Tensor expected = ds.NormalizeLayer(ds.FrameAtLayer(t - 1, 2), 2);
+  const int64_t plane = 16;
+  const float* last_channel =
+      input.closeness.data() + (ds.spec().closeness_len - 1) * plane;
+  for (int64_t i = 0; i < plane; ++i) {
+    EXPECT_NEAR(last_channel[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(DatasetTest, RawTargetMatchesFrames) {
+  STDataset ds = testing::TinyDataset();
+  const int64_t t = ds.val_indices().front();
+  const Tensor raw = ds.BuildRawTarget({t}, 2);
+  const Tensor& frame = ds.FrameAtLayer(t, 2);
+  for (int64_t i = 0; i < frame.numel(); ++i) {
+    EXPECT_FLOAT_EQ(raw[i], frame[i]);
+  }
+}
+
+TEST(DatasetTest, WithoutSnNormalizationUsesLayer1Stats) {
+  STDataset ds = testing::TinyDataset();
+  const int64_t t = ds.val_indices().front();
+  // BuildTarget(layer=3, normalize_with=1) equals raw scaled by layer-1
+  // stats — the w/o SN ablation's target construction.
+  const Tensor target = ds.BuildTarget({t}, 3, 1);
+  const ScaleStats& s1 = ds.StatsOfLayer(1);
+  const Tensor& frame = ds.FrameAtLayer(t, 3);
+  for (int64_t i = 0; i < frame.numel(); ++i) {
+    EXPECT_NEAR(target[i], (frame[i] - s1.mean) / s1.stddev, 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace one4all

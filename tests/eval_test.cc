@@ -1,0 +1,101 @@
+// Tests for src/eval: metric math, ACF analysis, scale-vs-predictability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "eval/predictability.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+TEST(MetricsTest, RmseMaeOnKnownValues) {
+  MetricAccumulator acc;
+  acc.Add(3.0, 1.0);   // err 2
+  acc.Add(1.0, 2.0);   // err -1
+  acc.Add(5.0, 5.0);   // err 0
+  EXPECT_NEAR(acc.Rmse(), std::sqrt((4.0 + 1.0 + 0.0) / 3.0), 1e-9);
+  EXPECT_NEAR(acc.Mae(), 1.0, 1e-9);
+  EXPECT_EQ(acc.count(), 3);
+}
+
+TEST(MetricsTest, MapeSkipsNearZeroTruth) {
+  MetricAccumulator acc(/*mape_threshold=*/1.0);
+  acc.Add(2.0, 0.01);  // skipped for MAPE
+  acc.Add(8.0, 10.0);  // ape 0.2
+  EXPECT_NEAR(acc.Mape(), 0.2, 1e-9);
+}
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  MetricAccumulator acc;
+  EXPECT_EQ(acc.Rmse(), 0.0);
+  EXPECT_EQ(acc.Mape(), 0.0);
+  EXPECT_EQ(acc.Mae(), 0.0);
+}
+
+TEST(MetricsTest, MergeCombinesStreams) {
+  MetricAccumulator a, b;
+  a.Add(2.0, 1.0);
+  b.Add(1.0, 2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_NEAR(a.Rmse(), 1.0, 1e-9);
+}
+
+TEST(AcfTest, PeriodicSeriesHasHighAcfAtPeriod) {
+  std::vector<float> series;
+  for (int i = 0; i < 240; ++i) {
+    series.push_back(static_cast<float>(std::sin(2.0 * M_PI * i / 24.0)));
+  }
+  EXPECT_GT(Autocorrelation(series, 24), 0.9);
+  EXPECT_LT(Autocorrelation(series, 12), -0.5);
+}
+
+TEST(AcfTest, WhiteNoiseHasLowAcf) {
+  Rng rng(3);
+  std::vector<float> series;
+  for (int i = 0; i < 500; ++i) {
+    series.push_back(static_cast<float>(rng.Normal()));
+  }
+  EXPECT_LT(std::fabs(Autocorrelation(series, 24)), 0.15);
+}
+
+TEST(AcfTest, DegenerateSeriesReturnsZero) {
+  EXPECT_EQ(Autocorrelation({1.0f, 1.0f, 1.0f, 1.0f}, 1), 0.0);
+  EXPECT_EQ(Autocorrelation({1.0f}, 5), 0.0);
+}
+
+TEST(PredictabilityTest, CoarserScalesMorePredictable) {
+  // The paper's Fig. 10 (left): mean ACF rises with scale. Aggregation
+  // averages out Poisson noise, so this must hold on synthetic data too.
+  STDataset ds = testing::TinyDataset(61, 16, 16, 8 * 30);
+  const auto per_scale = MeanAcfPerScale(ds);
+  ASSERT_GE(per_scale.size(), 3u);
+  for (size_t i = 0; i + 1 < per_scale.size(); ++i) {
+    EXPECT_LT(per_scale[i].mean_acf, per_scale[i + 1].mean_acf + 0.05)
+        << "scale " << per_scale[i].scale << " vs "
+        << per_scale[i + 1].scale;
+  }
+  EXPECT_GT(per_scale.back().mean_acf, per_scale.front().mean_acf);
+}
+
+TEST(PredictabilityTest, HighFlowCellsMorePredictable) {
+  // Fig. 10's second observation: flow volume correlates with ACF.
+  STDataset ds = testing::TinyDataset(62, 16, 16, 8 * 30);
+  EXPECT_GT(FlowVsAcfCorrelation(ds), 0.2);
+}
+
+TEST(PredictabilityTest, ReportsEveryScale) {
+  STDataset ds = testing::TinyDataset(63);
+  const auto per_scale = MeanAcfPerScale(ds);
+  ASSERT_EQ(per_scale.size(), 3u);
+  EXPECT_EQ(per_scale[0].scale, 1);
+  EXPECT_EQ(per_scale[1].scale, 2);
+  EXPECT_EQ(per_scale[2].scale, 4);
+  EXPECT_EQ(per_scale[0].num_grids, 64);
+  EXPECT_GE(per_scale[0].stddev_acf, 0.0);
+}
+
+}  // namespace
+}  // namespace one4all

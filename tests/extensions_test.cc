@@ -1,0 +1,185 @@
+// Tests for the extensions beyond the paper's core: early-stopping /
+// LR-decay trainer, hierarchical-structure search (the paper's future
+// work 1), and flow dataset persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "data/flow_io.h"
+#include "model/baselines_cnn.h"
+#include "model/hierarchy_search.h"
+#include "model/trainer.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+TEST(TrainerExtensionTest, EarlyStoppingHaltsOnPlateau) {
+  STDataset ds = testing::TinyDataset();
+  StResNetNet net(ds.spec(), 4, 1, 71);
+  TrainOptions options;
+  options.epochs = 50;
+  options.batch_size = 8;
+  options.max_batches_per_epoch = 2;
+  options.learning_rate = 0.0f;  // no progress -> must stop early
+  options.early_stop_patience = 3;
+  const TrainReport report = TrainModel(
+      &net, ds,
+      [&net](const STDataset& d, const std::vector<int64_t>& batch) {
+        return net.Loss(d, batch);
+      },
+      options);
+  EXPECT_TRUE(report.early_stopped);
+  EXPECT_LT(report.epochs_run, 50);
+  EXPECT_EQ(report.val_losses.size(),
+            static_cast<size_t>(report.epochs_run));
+}
+
+TEST(TrainerExtensionTest, NoEarlyStopWhenImproving) {
+  STDataset ds = testing::TinyDataset();
+  StResNetNet net(ds.spec(), 4, 1, 72);
+  TrainOptions options;
+  options.epochs = 3;
+  options.max_batches_per_epoch = 4;
+  options.early_stop_patience = 2;
+  const TrainReport report = TrainModel(
+      &net, ds,
+      [&net](const STDataset& d, const std::vector<int64_t>& batch) {
+        return net.Loss(d, batch);
+      },
+      options);
+  EXPECT_EQ(report.epochs_run, 3);
+  EXPECT_FALSE(report.early_stopped);
+}
+
+TEST(TrainerExtensionTest, LrDecayStillConverges) {
+  Variable x(Tensor::Full({4}, 5.0f), true);
+  Tensor target = Tensor::FromVector({4}, {1, -2, 0.5f, 3});
+  Adam adam({x}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    adam.ZeroGrad();
+    MseLoss(x, target).Backward();
+    adam.Step();
+    adam.set_lr(adam.lr() * 0.99f);
+  }
+  EXPECT_TRUE(x.value().AllClose(target, 5e-2f));
+}
+
+TEST(HierarchySearchTest, EnumeratesMaximalSequences) {
+  const auto sequences = EnumerateWindowSequences({2, 4}, 8);
+  // Maximal sequences reaching within (4, 8]: {2,2,2}, {2,4}, {4,2}.
+  EXPECT_EQ(sequences.size(), 3u);
+  for (const auto& seq : sequences) {
+    int64_t scale = 1;
+    for (int64_t k : seq) scale *= k;
+    EXPECT_GT(scale * 2, 8);  // maximal: cannot extend
+    EXPECT_LE(scale, 8);
+  }
+}
+
+TEST(HierarchySearchTest, SingleCandidateWindow) {
+  const auto sequences = EnumerateWindowSequences({3}, 9);
+  ASSERT_EQ(sequences.size(), 1u);
+  EXPECT_EQ(sequences[0], (std::vector<int64_t>{3, 3}));
+}
+
+TEST(HierarchySearchTest, FindsBestWithinBudget) {
+  SyntheticDataOptions data_options;
+  data_options.height = 8;
+  data_options.width = 8;
+  data_options.num_timesteps = 96;
+  data_options.steps_per_day = 8;
+  data_options.seed = 5;
+  auto flows = GenerateSyntheticFlows(data_options);
+  ASSERT_TRUE(flows.ok());
+
+  HierarchySearchOptions options;
+  options.candidate_windows = {2, 4};
+  options.max_scale = 8;
+  options.channels = 4;
+  options.train.epochs = 1;
+  options.train.max_batches_per_epoch = 3;
+  auto result =
+      SearchHierarchyStructure(*flows, testing::TinySpec(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->candidates.size(), 3u);
+  const auto& best = result->candidates[result->best_index];
+  EXPECT_TRUE(best.within_budget);
+  for (const auto& c : result->candidates) {
+    if (c.within_budget) EXPECT_LE(best.val_loss, c.val_loss);
+  }
+}
+
+TEST(HierarchySearchTest, BudgetFiltersCandidates) {
+  SyntheticDataOptions data_options;
+  data_options.height = 8;
+  data_options.width = 8;
+  data_options.num_timesteps = 96;
+  data_options.steps_per_day = 8;
+  auto flows = GenerateSyntheticFlows(data_options);
+  ASSERT_TRUE(flows.ok());
+
+  HierarchySearchOptions options;
+  options.candidate_windows = {2, 4};
+  options.max_scale = 8;
+  options.channels = 4;
+  options.train.epochs = 1;
+  options.train.max_batches_per_epoch = 2;
+  options.parameter_budget = 1;  // nothing fits
+  EXPECT_FALSE(
+      SearchHierarchyStructure(*flows, testing::TinySpec(), options).ok());
+}
+
+TEST(FlowIoTest, SaveLoadRoundTrip) {
+  SyntheticDataOptions options;
+  options.height = 6;
+  options.width = 7;
+  options.num_timesteps = 20;
+  auto flows = GenerateSyntheticFlows(options);
+  ASSERT_TRUE(flows.ok());
+  const std::string path = ::testing::TempDir() + "/flows_rt.bin";
+  ASSERT_TRUE(SaveFlows(*flows, path).ok());
+  auto restored = LoadFlows(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->frames.size(), flows->frames.size());
+  EXPECT_EQ(restored->steps_per_day, flows->steps_per_day);
+  EXPECT_TRUE(restored->base_rate.AllClose(flows->base_rate));
+  for (size_t t = 0; t < flows->frames.size(); ++t) {
+    EXPECT_TRUE(restored->frames[t].AllClose(flows->frames[t]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlowIoTest, RejectsMissingAndCorruptFiles) {
+  EXPECT_EQ(LoadFlows("/nonexistent/flows.bin").status().code(),
+            StatusCode::kIOError);
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a flow file at all", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadFlows(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FlowIoTest, RejectsTruncatedFile) {
+  SyntheticDataOptions options;
+  options.height = 4;
+  options.width = 4;
+  options.num_timesteps = 10;
+  auto flows = GenerateSyntheticFlows(options);
+  ASSERT_TRUE(flows.ok());
+  const std::string path = ::testing::TempDir() + "/flows_trunc.bin";
+  ASSERT_TRUE(SaveFlows(*flows, path).ok());
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadFlows(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace one4all

@@ -1,0 +1,341 @@
+// Unit + property tests for src/grid: hierarchies (incl. non-divisible
+// extents), masks, polygon rasterization, region generators, and
+// Algorithm 1 decomposition invariants.
+#include <gtest/gtest.h>
+#include <cmath>
+#include <algorithm>
+
+#include "grid/decompose.h"
+#include "grid/hierarchy.h"
+#include "grid/polygon.h"
+#include "grid/region_generator.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+TEST(HierarchyTest, UniformScalesMatchDefinition2) {
+  Hierarchy h = Hierarchy::Uniform(32, 32, 2, 32);
+  EXPECT_EQ(h.Scales(), (std::vector<int64_t>{1, 2, 4, 8, 16, 32}));
+  EXPECT_EQ(h.num_layers(), 6);
+  EXPECT_EQ(h.layer(1).height, 32);
+  EXPECT_EQ(h.layer(6).height, 1);
+}
+
+TEST(HierarchyTest, CreateValidatesArguments) {
+  EXPECT_FALSE(Hierarchy::Create(0, 4, {2}).ok());
+  EXPECT_FALSE(Hierarchy::Create(4, 4, {1}).ok());
+  EXPECT_TRUE(Hierarchy::Create(4, 4, {2, 2}).ok());
+  // Merging past 1x1 is rejected.
+  EXPECT_FALSE(Hierarchy::Create(4, 4, {2, 2, 2}).ok());
+}
+
+TEST(HierarchyTest, CeilDivisionForNonDivisibleExtents) {
+  // The paper's 3x3 window on a non-multiple raster needs zero padding.
+  auto h = Hierarchy::Create(10, 10, {3, 3});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->layer(2).height, 4);  // ceil(10/3)
+  EXPECT_EQ(h->layer(3).height, 2);  // ceil(4/3)
+  // Border grid covers fewer atomic cells.
+  const CellRect rect = h->CellsOf(GridId{2, 3, 3});
+  EXPECT_EQ(rect.r0, 9);
+  EXPECT_EQ(rect.r1, 10);
+  EXPECT_EQ(rect.Area(), 1);
+}
+
+TEST(HierarchyTest, ParentChildConsistency) {
+  Hierarchy h = Hierarchy::Uniform(16, 16, 2, 16);
+  for (int l = 1; l < h.num_layers(); ++l) {
+    const LayerInfo& info = h.layer(l);
+    for (int64_t r = 0; r < info.height; ++r) {
+      for (int64_t c = 0; c < info.width; ++c) {
+        const GridId id{l, r, c};
+        const GridId parent = h.ParentOf(id);
+        const auto children = h.ChildrenOf(parent);
+        EXPECT_NE(std::find(children.begin(), children.end(), id),
+                  children.end())
+            << id.ToString() << " not listed under " << parent.ToString();
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, ChildrenPartitionParentCells) {
+  Hierarchy h = Hierarchy::Uniform(12, 12, 2, 8);
+  for (int l = 2; l <= h.num_layers(); ++l) {
+    const LayerInfo& info = h.layer(l);
+    for (int64_t r = 0; r < info.height; ++r) {
+      for (int64_t c = 0; c < info.width; ++c) {
+        const GridId id{l, r, c};
+        GridMask parent_mask = h.MaskOf(id);
+        GridMask union_mask(h.atomic_height(), h.atomic_width());
+        for (const GridId& child : h.ChildrenOf(id)) {
+          const GridMask child_mask = h.MaskOf(child);
+          EXPECT_FALSE(union_mask.Intersects(child_mask));
+          union_mask = union_mask.Union(child_mask);
+        }
+        EXPECT_EQ(union_mask, parent_mask);
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, AggregationPreservesTotals) {
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 8);
+  Rng rng(1);
+  Tensor atomic = Tensor::RandomUniform({8, 8}, &rng, 0.0f, 10.0f);
+  for (int l = 2; l <= h.num_layers(); ++l) {
+    const Tensor agg = h.AggregateToLayer(atomic, l);
+    EXPECT_NEAR(agg.Sum(), atomic.Sum(), 1e-3);
+  }
+}
+
+TEST(HierarchyTest, BatchAggregationMatchesSingle) {
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 4);
+  Rng rng(2);
+  Tensor batch = Tensor::RandomUniform({3, 1, 8, 8}, &rng);
+  const Tensor agg = h.AggregateBatchToLayer(batch, 2);
+  for (int64_t s = 0; s < 3; ++s) {
+    Tensor frame({8, 8});
+    std::copy(batch.data() + s * 64, batch.data() + (s + 1) * 64,
+              frame.data());
+    const Tensor ref = h.AggregateToLayer(frame, 2);
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+      EXPECT_NEAR(agg[s * ref.numel() + i], ref[i], 1e-4);
+    }
+  }
+}
+
+TEST(MaskTest, RectOperations) {
+  GridMask m(8, 8);
+  m.FillRect(2, 2, 5, 6);
+  EXPECT_EQ(m.Count(), 12);
+  EXPECT_TRUE(m.ContainsRect(2, 2, 5, 6));
+  EXPECT_FALSE(m.ContainsRect(1, 2, 5, 6));
+  m.ClearRect(3, 3, 4, 4);
+  EXPECT_EQ(m.Count(), 11);
+  EXPECT_FALSE(m.at(3, 3));
+}
+
+TEST(MaskTest, SetAlgebra) {
+  GridMask a(4, 4), b(4, 4);
+  a.FillRect(0, 0, 2, 4);
+  b.FillRect(1, 0, 3, 4);
+  EXPECT_EQ(a.Union(b).Count(), 12);
+  EXPECT_EQ(a.Intersect(b).Count(), 4);
+  EXPECT_EQ(a.Subtract(b).Count(), 4);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(a.Union(b).Contains(a));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(MaskTest, MaskedSum) {
+  GridMask m(2, 2);
+  m.Set(0, 0, true);
+  m.Set(1, 1, true);
+  Tensor field = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m.MaskedSum(field), 5.0);
+}
+
+TEST(SignedMaskTest, UnionMinusSubtractionReducesToRegion) {
+  // Coarse 4x4 block minus a 2x2 corner equals the L-shaped region.
+  SignedMask sm(4, 4);
+  sm.AccumulateRect(0, 0, 4, 4, 1);
+  sm.AccumulateRect(0, 0, 2, 2, -1);
+  GridMask region(4, 4);
+  region.FillRect(0, 0, 4, 4);
+  region.ClearRect(0, 0, 2, 2);
+  EXPECT_TRUE(sm.EqualsRegion(region));
+}
+
+TEST(PolygonTest, AreaAndContainment) {
+  Polygon square = Polygon::Rect(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(square.Area(), 100.0);
+  EXPECT_TRUE(square.Contains(Point{5, 5}));
+  EXPECT_FALSE(square.Contains(Point{15, 5}));
+}
+
+TEST(PolygonTest, HexagonAreaFormula) {
+  Polygon hex = Polygon::Hexagon(Point{0, 0}, 10.0);
+  // Regular hexagon area = 3*sqrt(3)/2 * r^2.
+  EXPECT_NEAR(hex.Area(), 3.0 * std::sqrt(3.0) / 2.0 * 100.0, 1e-6);
+}
+
+TEST(PolygonTest, RasterizeSquareCoversExpectedCells) {
+  RasterFrame frame;
+  frame.cell_size = 1.0;
+  frame.height = 10;
+  frame.width = 10;
+  auto mask = RasterizePolygon(Polygon::Rect(2, 2, 6, 6), frame);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->Count(), 16);  // cell centers 2.5..5.5 in both axes
+  EXPECT_TRUE(mask->at(2, 2));
+  EXPECT_FALSE(mask->at(6, 6));
+}
+
+TEST(PolygonTest, RasterizeRejectsDegenerate) {
+  RasterFrame frame;
+  frame.height = 4;
+  frame.width = 4;
+  EXPECT_FALSE(RasterizePolygon(Polygon({{0, 0}, {1, 1}}), frame).ok());
+  // Off-raster polygon covers no center.
+  frame.cell_size = 1.0;
+  EXPECT_FALSE(
+      RasterizePolygon(Polygon::Rect(100, 100, 101, 101), frame).ok());
+}
+
+class RegionStyleParamTest : public ::testing::TestWithParam<RegionStyle> {};
+
+TEST_P(RegionStyleParamTest, RegionsAreDisjointAndSized) {
+  RegionGeneratorOptions options;
+  options.style = GetParam();
+  options.mean_cells = 20.0;
+  options.seed = 5;
+  const auto regions = GenerateRegions(32, 32, options);
+  ASSERT_FALSE(regions.empty());
+  GridMask acc(32, 32);
+  int64_t total = 0;
+  for (const GridMask& region : regions) {
+    EXPECT_FALSE(region.Empty());
+    EXPECT_FALSE(acc.Intersects(region)) << RegionStyleName(GetParam());
+    acc = acc.Union(region);
+    total += region.Count();
+  }
+  // Mean size lands within a loose factor of the target.
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(regions.size());
+  EXPECT_GT(mean, 20.0 / 4.0);
+  EXPECT_LT(mean, 20.0 * 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStyles, RegionStyleParamTest,
+                         ::testing::Values(RegionStyle::kVoronoi,
+                                           RegionStyle::kHexagon,
+                                           RegionStyle::kRoadGrid));
+
+TEST(RegionGeneratorTest, VoronoiAndRoadGridCoverRaster) {
+  for (RegionStyle style : {RegionStyle::kVoronoi, RegionStyle::kRoadGrid}) {
+    RegionGeneratorOptions options;
+    options.style = style;
+    options.mean_cells = 16.0;
+    const auto regions = GenerateRegions(16, 16, options);
+    int64_t total = 0;
+    for (const auto& r : regions) total += r.Count();
+    EXPECT_EQ(total, 16 * 16) << RegionStyleName(style);
+  }
+}
+
+TEST(RegionGeneratorTest, DeterministicForSeed) {
+  RegionGeneratorOptions options;
+  options.style = RegionStyle::kVoronoi;
+  options.seed = 42;
+  const auto a = GenerateRegions(16, 16, options);
+  const auto b = GenerateRegions(16, 16, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// ---- Algorithm 1 property tests ----------------------------------------
+
+struct DecomposeCase {
+  uint64_t seed;
+  int fill_per_mille;
+};
+
+class DecomposeParamTest : public ::testing::TestWithParam<DecomposeCase> {};
+
+TEST_P(DecomposeParamTest, PostconditionsHoldOnRandomRegions) {
+  Hierarchy h = Hierarchy::Uniform(16, 16, 2, 16);
+  const GridMask region = testing::RandomMask(
+      16, 16, GetParam().seed, GetParam().fill_per_mille);
+  if (region.Empty()) return;
+  const auto pieces = HierarchicalDecompose(h, region);
+  EXPECT_TRUE(ValidateDecomposition(h, region, pieces));
+  // Multi-grid pieces share a parent and stay below the window area.
+  for (const auto& piece : pieces) {
+    EXPECT_GE(piece.grids.size(), 1u);
+    if (piece.layer < h.num_layers()) {
+      EXPECT_LT(piece.grids.size(), 4u);
+      const GridId parent = h.ParentOf(piece.grids[0]);
+      for (const GridId& g : piece.grids) {
+        EXPECT_TRUE(h.ParentOf(g) == parent);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomRegions, DecomposeParamTest,
+    ::testing::Values(DecomposeCase{1, 100}, DecomposeCase{2, 300},
+                      DecomposeCase{3, 500}, DecomposeCase{4, 700},
+                      DecomposeCase{5, 900}, DecomposeCase{6, 999},
+                      DecomposeCase{7, 50}, DecomposeCase{8, 400}));
+
+TEST(DecomposeTest, FullRasterBecomesCoarsestGrids) {
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 8);
+  GridMask all(8, 8);
+  all.FillRect(0, 0, 8, 8);
+  const auto pieces = HierarchicalDecompose(h, all);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].layer, h.num_layers());
+}
+
+TEST(DecomposeTest, SingleCellStaysAtomic) {
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 8);
+  GridMask region(8, 8);
+  region.Set(3, 5, true);
+  const auto pieces = HierarchicalDecompose(h, region);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].layer, 1);
+  EXPECT_EQ(pieces[0].grids.size(), 1u);
+}
+
+TEST(DecomposeTest, LShapeProducesMultiGrid) {
+  // Three cells of one 2x2 window: a classic multi-grid (paper Fig. 11).
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 8);
+  GridMask region(8, 8);
+  region.Set(0, 0, true);
+  region.Set(0, 1, true);
+  region.Set(1, 0, true);
+  const auto pieces = HierarchicalDecompose(h, region);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].layer, 1);
+  EXPECT_EQ(pieces[0].grids.size(), 3u);
+  EXPECT_TRUE(pieces[0].IsMultiGrid());
+}
+
+TEST(DecomposeTest, DiagonalPairSplitsIntoSingles) {
+  // Diagonal cells are not edge-adjacent: two separate pieces.
+  Hierarchy h = Hierarchy::Uniform(8, 8, 2, 8);
+  GridMask region(8, 8);
+  region.Set(0, 0, true);
+  region.Set(1, 1, true);
+  const auto pieces = HierarchicalDecompose(h, region);
+  EXPECT_EQ(pieces.size(), 2u);
+}
+
+TEST(DecomposeTest, CoarseToFineOrderPrefersLargeGrids) {
+  // An 4x4 aligned block inside a bigger region must appear as one
+  // layer-3 grid, not sixteen atomic cells.
+  Hierarchy h = Hierarchy::Uniform(16, 16, 2, 16);
+  GridMask region(16, 16);
+  region.FillRect(0, 0, 4, 4);
+  region.Set(4, 0, true);
+  const auto pieces = HierarchicalDecompose(h, region);
+  bool has_layer3 = false;
+  for (const auto& piece : pieces) {
+    if (piece.layer == 3) has_layer3 = true;
+  }
+  EXPECT_TRUE(has_layer3);
+}
+
+TEST(DecomposeTest, WorksOnNonDivisibleHierarchy) {
+  auto h = Hierarchy::Create(10, 10, {3, 3});
+  ASSERT_TRUE(h.ok());
+  const GridMask region = testing::RandomMask(10, 10, 77, 500);
+  const auto pieces = HierarchicalDecompose(*h, region);
+  EXPECT_TRUE(ValidateDecomposition(*h, region, pieces));
+}
+
+}  // namespace
+}  // namespace one4all

@@ -1,0 +1,109 @@
+// Tests for the KV store (HBase/Hive stand-in) and the prediction store.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "kvstore/prediction_store.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore store;
+  store.Put("a", "1");
+  ASSERT_TRUE(store.Get("a").ok());
+  EXPECT_EQ(*store.Get("a"), "1");
+  EXPECT_TRUE(store.Contains("a"));
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_FALSE(store.Contains("a"));
+  EXPECT_EQ(store.Get("a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Delete("a").code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, PutOverwrites) {
+  KvStore store;
+  store.Put("k", "v1");
+  store.Put("k", "v2");
+  EXPECT_EQ(*store.Get("k"), "v2");
+  EXPECT_EQ(store.NumKeys(), 1u);
+}
+
+TEST(KvStoreTest, ScanPrefixOrdered) {
+  KvStore store;
+  store.Put("pred/01/5", "a");
+  store.Put("pred/01/3", "b");
+  store.Put("pred/02/1", "c");
+  store.Put("other", "d");
+  const auto scan = store.ScanPrefix("pred/01/");
+  ASSERT_EQ(scan.size(), 2u);
+  EXPECT_EQ(scan[0].first, "pred/01/3");
+  EXPECT_EQ(scan[1].first, "pred/01/5");
+}
+
+TEST(KvStoreTest, ApproxBytesAndClear) {
+  KvStore store;
+  store.Put("ab", "cdef");
+  EXPECT_EQ(store.ApproxBytes(), 6);
+  store.Clear();
+  EXPECT_EQ(store.NumKeys(), 0u);
+  EXPECT_EQ(store.ApproxBytes(), 0);
+}
+
+TEST(KvStoreTest, ConcurrentWritersAreSafe) {
+  KvStore store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 200; ++i) {
+        store.Put("k" + std::to_string(t) + "_" + std::to_string(i),
+                  std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.NumKeys(), 800u);
+}
+
+TEST(PredictionStoreTest, FrameRoundTrip) {
+  KvStore kv;
+  PredictionStore store(&kv);
+  Rng rng(1);
+  Tensor frame = Tensor::RandomUniform({4, 6}, &rng, 0.0f, 50.0f);
+  store.SyncFrame(2, 100, frame);
+  EXPECT_TRUE(store.HasFrame(2, 100));
+  auto restored = store.GetFrame(2, 100);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->AllClose(frame));
+  EXPECT_FLOAT_EQ(store.GetValue(2, 100, 3, 5), frame.at(3, 5));
+}
+
+TEST(PredictionStoreTest, MissingFrameIsNotFound) {
+  KvStore kv;
+  PredictionStore store(&kv);
+  EXPECT_FALSE(store.HasFrame(1, 42));
+  EXPECT_EQ(store.GetFrame(1, 42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PredictionStoreTest, SyncOverwritesInPlace) {
+  KvStore kv;
+  PredictionStore store(&kv);
+  store.SyncFrame(1, 7, Tensor::Full({2, 2}, 1.0f));
+  store.SyncFrame(1, 7, Tensor::Full({2, 2}, 9.0f));
+  EXPECT_FLOAT_EQ(store.GetValue(1, 7, 0, 0), 9.0f);
+  EXPECT_EQ(kv.NumKeys(), 1u);
+}
+
+TEST(PredictionStoreTest, KeysAreScannableByLayer) {
+  KvStore kv;
+  PredictionStore store(&kv);
+  for (int64_t t = 0; t < 5; ++t) {
+    store.SyncFrame(1, t, Tensor({2, 2}));
+    store.SyncFrame(2, t, Tensor({1, 1}));
+  }
+  EXPECT_EQ(kv.ScanPrefix("pred/01/").size(), 5u);
+  EXPECT_EQ(kv.ScanPrefix("pred/02/").size(), 5u);
+}
+
+}  // namespace
+}  // namespace one4all

@@ -1,0 +1,208 @@
+// Unit tests for src/nn: module registry, layers (shapes + gradients),
+// optimizers (convergence on analytic problems), save/load round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+using testing::CheckGradients;
+
+TEST(ModuleTest, ParameterCountsAndNames) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, /*bias=*/true, &rng);
+  // weight 8*3*3*3 + bias 8.
+  EXPECT_EQ(conv.NumParameters(), 8 * 3 * 3 * 3 + 8);
+  const auto named = conv.NamedParameters("conv");
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "conv.weight");
+  EXPECT_EQ(named[1].first, "conv.bias");
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(2);
+  Mlp a(4, 8, 2, &rng);
+  Mlp b(4, 8, 2, &rng);  // different random init
+  const std::string path = ::testing::TempDir() + "/mlp_params.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+  ASSERT_TRUE(b.Load(path).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].value().AllClose(pb[i].value()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, LoadRejectsShapeMismatch) {
+  Rng rng(3);
+  Mlp a(4, 8, 2, &rng);
+  Mlp b(4, 16, 2, &rng);
+  const std::string path = ::testing::TempDir() + "/mlp_bad.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+  EXPECT_FALSE(b.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, LoadRejectsMissingFile) {
+  Rng rng(4);
+  Mlp a(2, 2, 2, &rng);
+  EXPECT_EQ(a.Load("/nonexistent/path.bin").code(), StatusCode::kIOError);
+}
+
+TEST(LayerTest, Conv2dOutputShape) {
+  Rng rng(5);
+  Conv2d conv(3, 6, 3, 1, 1, true, &rng);
+  Variable x(Tensor::RandomNormal({2, 3, 8, 8}, &rng));
+  Variable y = conv.Forward(x);
+  EXPECT_EQ(y.value().shape(), (std::vector<int64_t>{2, 6, 8, 8}));
+}
+
+TEST(LayerTest, StridedConvHalvesResolution) {
+  Rng rng(6);
+  Conv2d conv(4, 4, 2, 2, 0, true, &rng);
+  Variable x(Tensor::RandomNormal({1, 4, 8, 8}, &rng));
+  EXPECT_EQ(conv.Forward(x).value().shape(),
+            (std::vector<int64_t>{1, 4, 4, 4}));
+}
+
+TEST(LayerTest, LinearOutputShape) {
+  Rng rng(7);
+  Linear fc(5, 3, true, &rng);
+  Variable x(Tensor::RandomNormal({4, 5}, &rng));
+  EXPECT_EQ(fc.Forward(x).value().shape(), (std::vector<int64_t>{4, 3}));
+}
+
+class SpatialBlockParamTest
+    : public ::testing::TestWithParam<SpatialBlockType> {};
+
+TEST_P(SpatialBlockParamTest, PreservesShape) {
+  Rng rng(8);
+  auto block = MakeSpatialBlock(GetParam(), 8, &rng);
+  Variable x(Tensor::RandomNormal({2, 8, 6, 6}, &rng));
+  EXPECT_EQ(block->Forward(x).value().shape(), x.value().shape());
+}
+
+TEST_P(SpatialBlockParamTest, GradientsFlowToAllParameters) {
+  Rng rng(9);
+  auto block = MakeSpatialBlock(GetParam(), 8, &rng);
+  // A batch of several samples so no ReLU unit is dead across the board.
+  Variable x(Tensor::RandomNormal({4, 8, 4, 4}, &rng, 0.0f, 1.0f));
+  block->ZeroGrad();
+  Variable y = block->Forward(x);
+  MeanAll(Mul(y, y)).Backward();
+  for (const Variable& p : block->Parameters()) {
+    EXPECT_GT(p.grad().SquaredNorm(), 0.0f)
+        << SpatialBlockTypeName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBlocks, SpatialBlockParamTest,
+                         ::testing::Values(SpatialBlockType::kConv,
+                                           SpatialBlockType::kRes,
+                                           SpatialBlockType::kSE));
+
+TEST(LayerTest, SEBlockGradientFiniteDifference) {
+  Rng rng(10);
+  SEBlock block(4, 2, &rng);
+  Variable x(Tensor::RandomNormal({1, 4, 3, 3}, &rng, 0.0f, 0.5f));
+  CheckGradients(
+      [&] {
+        Variable y = block.Forward(x);
+        return MeanAll(Mul(y, y));
+      },
+      block.Parameters(), 1e-2f, 5e-2f, 2);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  // Minimize ||x - target||^2.
+  Variable x(Tensor::Full({4}, 5.0f), true);
+  Tensor target = Tensor::FromVector({4}, {1, -2, 0.5f, 3});
+  Sgd sgd({x}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    MseLoss(x, target).Backward();
+    sgd.Step();
+  }
+  EXPECT_TRUE(x.value().AllClose(target, 1e-3f));
+}
+
+TEST(OptimizerTest, SgdMomentumConverges) {
+  Variable x(Tensor::Full({4}, 5.0f), true);
+  Tensor target = Tensor::FromVector({4}, {1, -2, 0.5f, 3});
+  Sgd sgd({x}, 0.05f, 0.9f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    MseLoss(x, target).Backward();
+    sgd.Step();
+  }
+  EXPECT_TRUE(x.value().AllClose(target, 1e-2f));
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  Variable x(Tensor::Full({4}, 5.0f), true);
+  Tensor target = Tensor::FromVector({4}, {1, -2, 0.5f, 3});
+  Adam adam({x}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    adam.ZeroGrad();
+    MseLoss(x, target).Backward();
+    adam.Step();
+  }
+  EXPECT_TRUE(x.value().AllClose(target, 1e-2f));
+}
+
+TEST(OptimizerTest, ClipGradNormBoundsGlobalNorm) {
+  Variable x(Tensor::Full({100}, 0.0f), true);
+  Tensor target = Tensor::Full({100}, 100.0f);
+  Adam adam({x}, 0.1f);
+  adam.ZeroGrad();
+  MseLoss(x, target).Backward();
+  adam.ClipGradNorm(1.0f);
+  EXPECT_LE(x.grad().SquaredNorm(), 1.0f + 1e-4f);
+}
+
+TEST(OptimizerTest, AdamHandlesSparseZeroGradients) {
+  Variable x(Tensor::Full({4}, 1.0f), true);
+  Adam adam({x}, 0.1f);
+  adam.ZeroGrad();
+  // Loss touches only half the coordinates.
+  Variable head = SliceRowsVar(ReshapeVar(x, {4, 1}), 0, 2);
+  MseLoss(head, Tensor({2, 1})).Backward();
+  adam.Step();
+  // Untouched coordinates stay put.
+  EXPECT_FLOAT_EQ(x.value()[2], 1.0f);
+  EXPECT_FLOAT_EQ(x.value()[3], 1.0f);
+  EXPECT_LT(x.value()[0], 1.0f);
+}
+
+TEST(InitTest, GlorotBoundsAndHeSpread) {
+  Rng rng(11);
+  Tensor g = init::GlorotUniform({64, 64}, &rng);
+  const float limit = std::sqrt(6.0f / 128.0f);
+  EXPECT_GE(g.Min(), -limit);
+  EXPECT_LE(g.Max(), limit);
+  Tensor h = init::HeNormal({32, 16, 3, 3}, &rng);
+  const float expected_std = std::sqrt(2.0f / (16 * 9));
+  const float measured = std::sqrt(h.SquaredNorm() / h.numel());
+  EXPECT_NEAR(measured, expected_std, expected_std * 0.15f);
+}
+
+TEST(MlpTest, GradientFiniteDifference) {
+  Rng rng(12);
+  Mlp mlp(3, 5, 2, &rng);
+  Variable x(Tensor::RandomNormal({4, 3}, &rng));
+  Tensor target = Tensor::RandomNormal({4, 2}, &rng);
+  // Small eps keeps the probe on one side of ReLU kinks.
+  CheckGradients([&] { return MseLoss(mlp.Forward(x), target); },
+                 mlp.Parameters(), 5e-4f, 3e-2f, 3);
+}
+
+}  // namespace
+}  // namespace one4all

@@ -1,0 +1,156 @@
+// Parameterized property sweeps across random seeds: DP optimality
+// envelopes, index round-trips, end-to-end coverage, and gradient flow
+// through every baseline architecture.
+#include <gtest/gtest.h>
+
+#include "eval/task_eval.h"
+#include "model/baselines_graph.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+using testing::OraclePredictor;
+using testing::TinyDataset;
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, DpOptimumNeverWorseThanEitherExtreme) {
+  // For every grid, the DP optimum must be at least as good as (a) using
+  // the grid directly and (b) decomposing fully into atomic cells.
+  const uint64_t seed = GetParam();
+  STDataset ds = TinyDataset(seed);
+  OraclePredictor oracle({seed % 7 + 0.5, 1.0, 0.3}, seed * 3 + 1);
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  SearchOptions options;
+  options.enable_subtraction = false;
+  const auto result =
+      SearchOptimalCombinations(ds.hierarchy(), preds, options);
+  const Hierarchy& h = ds.hierarchy();
+  for (int l = 2; l <= h.num_layers(); ++l) {
+    const LayerInfo& info = h.layer(l);
+    for (int64_t r = 0; r < info.height; ++r) {
+      for (int64_t c = 0; c < info.width; ++c) {
+        const GridId id{l, r, c};
+        const auto truth = preds.TruthSeries(id);
+        const double direct_sse =
+            SeriesSse(preds.PredictionSeries(id), truth);
+        // Fully atomic decomposition.
+        Combination atomic;
+        const CellRect rect = h.CellsOf(id);
+        for (int64_t i = rect.r0; i < rect.r1; ++i) {
+          for (int64_t j = rect.c0; j < rect.c1; ++j) {
+            atomic.terms.push_back(
+                CombinationTerm{GridId{1, i, j}, 1});
+          }
+        }
+        const double atomic_sse = SeriesSse(atomic.Evaluate(preds), truth);
+        const double best = result.Single(h, id).sse;
+        EXPECT_LE(best, direct_sse + 1e-6);
+        EXPECT_LE(best, atomic_sse + 1e-6);
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweepTest, IndexRoundTripPreservesEveryLookup) {
+  const uint64_t seed = GetParam();
+  STDataset ds = TinyDataset(seed + 1000);
+  OraclePredictor oracle({3.0, 1.0, 0.2}, seed);
+  const auto preds =
+      ScalePredictionSet::FromPredictor(&oracle, ds, ds.val_indices());
+  const auto search =
+      SearchOptimalCombinations(ds.hierarchy(), preds, SearchOptions{});
+  const auto tree = ExtendedQuadTree::Build(ds.hierarchy(), search);
+  auto restored = ExtendedQuadTree::Deserialize(tree.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Serialize(), tree.Serialize());  // idempotent
+}
+
+TEST_P(SeedSweepTest, ResolvedQueriesAlwaysCoverRegions) {
+  const uint64_t seed = GetParam();
+  STDataset ds = TinyDataset(seed + 2000);
+  OraclePredictor oracle({2.0, 0.7, 0.1}, seed + 7);
+  auto pipeline = MauPipeline::Build(&oracle, ds, SearchOptions{});
+  RegionGeneratorOptions region_options;
+  region_options.style = static_cast<RegionStyle>(seed % 3);
+  region_options.mean_cells = 5.0 + static_cast<double>(seed % 11);
+  region_options.seed = seed;
+  for (const GridMask& region : GenerateRegions(8, 8, region_options)) {
+    auto resolved = pipeline->server().Resolve(
+        region, QueryStrategy::kUnionSubtraction);
+    ASSERT_TRUE(resolved.ok());
+    Combination combo;
+    combo.terms = resolved->terms;
+    EXPECT_TRUE(combo.CoversExactly(ds.hierarchy(), region));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- Gradient flow through each baseline architecture -------------------
+
+template <typename Net>
+void ExpectGradFlow(Net* net, const STDataset& ds) {
+  net->ZeroGrad();
+  Variable loss = net->Loss(ds, {ds.train_indices()[0],
+                                 ds.train_indices()[1]});
+  loss.Backward();
+  int with_grad = 0, total = 0;
+  for (const Variable& p : net->Parameters()) {
+    ++total;
+    if (p.grad().SquaredNorm() > 0.0f) ++with_grad;
+  }
+  // Allow a few dead-ReLU stragglers but require the bulk to learn.
+  EXPECT_GE(with_grad * 10, total * 8)
+      << net->Name() << ": " << with_grad << "/" << total;
+}
+
+TEST(BaselineGradientTest, GwnAllParametersLearn) {
+  STDataset ds = TinyDataset(41);
+  GwnNet net(ds.hierarchy(), ds.spec(), 4, 4, 64, 141);
+  ExpectGradFlow(&net, ds);
+}
+
+TEST(BaselineGradientTest, StMgcnAllParametersLearn) {
+  STDataset ds = TinyDataset(42);
+  StMgcnNet net(ds, 4, 64, 142);
+  ExpectGradFlow(&net, ds);
+}
+
+TEST(BaselineGradientTest, GmanAllParametersLearn) {
+  STDataset ds = TinyDataset(43);
+  GmanNet net(ds.hierarchy(), ds.spec(), 4, 64, 143);
+  ExpectGradFlow(&net, ds);
+}
+
+TEST(BaselineGradientTest, StrnAllParametersLearn) {
+  STDataset ds = TinyDataset(44);
+  StrnNet net(ds.spec(), 8, 2, 144);
+  ExpectGradFlow(&net, ds);
+}
+
+TEST(BaselineGradientTest, StMetaAllParametersLearn) {
+  STDataset ds = TinyDataset(45);
+  StMetaNet net(ds.spec(), 4, 145);
+  ExpectGradFlow(&net, ds);
+}
+
+TEST(BaselineGradientTest, McStgcnAllParametersLearn) {
+  STDataset ds = TinyDataset(46);
+  McStgcnNet net(ds.hierarchy(), ds.spec(), 8, 2, 146);
+  net.ZeroGrad();
+  Variable loss = net.Loss(ds, {ds.train_indices()[0]});
+  loss.Backward();
+  int with_grad = 0, total = 0;
+  for (const Variable& p : net.Parameters()) {
+    ++total;
+    if (p.grad().SquaredNorm() > 0.0f) ++with_grad;
+  }
+  EXPECT_GE(with_grad * 10, total * 8);
+}
+
+}  // namespace
+}  // namespace one4all

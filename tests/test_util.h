@@ -1,0 +1,158 @@
+// Shared helpers for the One4All-ST test suite: tiny deterministic
+// datasets, finite-difference gradient checking, and an oracle predictor
+// with controllable per-layer noise.
+#ifndef ONE4ALL_TESTS_TEST_UTIL_H_
+#define ONE4ALL_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "model/predictor.h"
+#include "tensor/autograd.h"
+
+namespace one4all {
+namespace testing {
+
+/// \brief Small temporal spec so tiny datasets have full history windows.
+inline TemporalFeatureSpec TinySpec() {
+  TemporalFeatureSpec spec;
+  spec.closeness_len = 2;
+  spec.period_len = 2;
+  spec.trend_len = 1;
+  spec.daily_interval = 8;
+  spec.weekly_interval = 16;
+  return spec;
+}
+
+/// \brief 8x8 raster, P={1,2,4}, ~10 "days" of 8-slot data.
+inline STDataset TinyDataset(uint64_t seed = 7, int64_t h = 8, int64_t w = 8,
+                             int64_t timesteps = 96) {
+  SyntheticDataOptions options;
+  options.height = h;
+  options.width = w;
+  options.num_timesteps = timesteps;
+  options.steps_per_day = 8;
+  options.num_hotspots = 3;
+  options.background_rate = 0.5;
+  options.hotspot_peak = 8.0;
+  options.hotspot_sigma_cells = 2.0;
+  options.seed = seed;
+  auto flows = GenerateSyntheticFlows(options);
+  EXPECT_TRUE(flows.ok()) << flows.status().ToString();
+  Hierarchy hierarchy = Hierarchy::Uniform(h, w, 2, 4);
+  auto dataset =
+      STDataset::Create(flows.MoveValueUnsafe(), hierarchy, TinySpec());
+  EXPECT_TRUE(dataset.ok()) << dataset.status().ToString();
+  return dataset.MoveValueUnsafe();
+}
+
+/// \brief Central finite-difference gradient check.
+///
+/// `loss_fn` rebuilds the forward pass and returns the scalar loss value;
+/// it must read the parameter values through the Variables each call.
+/// Checks `num_probes` coordinates of each parameter.
+inline void CheckGradients(const std::function<Variable()>& loss_builder,
+                           std::vector<Variable> params,
+                           float eps = 1e-3f, float tol = 2e-2f,
+                           int num_probes = 4) {
+  // Analytic gradients.
+  for (Variable& p : params) p.ZeroGrad();
+  Variable loss = loss_builder();
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const Variable& p : params) analytic.push_back(p.grad());
+
+  Rng rng(123);
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = params[pi].mutable_value();
+    const int64_t n = value.numel();
+    for (int probe = 0; probe < num_probes; ++probe) {
+      const int64_t i = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(n)));
+      const float saved = value[i];
+      value[i] = saved + eps;
+      const float up = loss_builder().value()[0];
+      value[i] = saved - eps;
+      const float down = loss_builder().value()[0];
+      value[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float exact = analytic[pi][i];
+      const float denom = std::max(1.0f, std::abs(numeric) + std::abs(exact));
+      EXPECT_NEAR(exact / denom, numeric / denom, tol)
+          << "param " << pi << " coord " << i << " analytic=" << exact
+          << " numeric=" << numeric;
+    }
+  }
+}
+
+/// \brief Predictor returning ground truth plus per-layer Gaussian noise —
+/// lets tests steer which scales the combination search should prefer.
+class OraclePredictor : public FlowPredictor {
+ public:
+  /// \param noise_per_layer Standard deviation of additive noise at each
+  /// layer (index 0 = layer 1). Missing entries default to 0.
+  OraclePredictor(std::vector<double> noise_per_layer = {},
+                  uint64_t seed = 9)
+      : noise_(std::move(noise_per_layer)), rng_(seed) {}
+
+  std::string Name() const override { return "Oracle"; }
+
+  std::vector<int> NativeLayers(const STDataset& dataset) const override {
+    std::vector<int> layers;
+    for (int l = 1; l <= dataset.hierarchy().num_layers(); ++l) {
+      layers.push_back(l);
+    }
+    return layers;
+  }
+
+  Tensor PredictLayer(const STDataset& dataset,
+                      const std::vector<int64_t>& timesteps,
+                      int layer) override {
+    const LayerInfo& info = dataset.hierarchy().layer(layer);
+    const int64_t n = static_cast<int64_t>(timesteps.size());
+    Tensor out({n, 1, info.height, info.width});
+    const double sigma =
+        static_cast<size_t>(layer - 1) < noise_.size()
+            ? noise_[static_cast<size_t>(layer - 1)]
+            : 0.0;
+    for (int64_t s = 0; s < n; ++s) {
+      const Tensor& f =
+          dataset.FrameAtLayer(timesteps[static_cast<size_t>(s)], layer);
+      float* dst = out.data() + s * info.height * info.width;
+      for (int64_t i = 0; i < info.height * info.width; ++i) {
+        dst[i] = f[i] + (sigma > 0.0
+                             ? static_cast<float>(rng_.Normal(0.0, sigma))
+                             : 0.0f);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<double> noise_;
+  Rng rng_;
+};
+
+/// \brief Deterministic pseudo-random mask with `fill_per_mille` density.
+inline GridMask RandomMask(int64_t h, int64_t w, uint64_t seed,
+                           int fill_per_mille = 400) {
+  Rng rng(seed);
+  GridMask mask(h, w);
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      if (rng.UniformInt(1000) < static_cast<uint64_t>(fill_per_mille)) {
+        mask.Set(r, c, true);
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace testing
+}  // namespace one4all
+
+#endif  // ONE4ALL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,339 @@
+// one4all_cli — command-line front end for the One4All-ST system.
+//
+//   one4all_cli generate --preset taxi --grid 32 --steps 1008 --out flows.bin
+//   one4all_cli train    --flows flows.bin --window 2 --max-scale 32
+//                        --epochs 15 --model model.bin
+//   one4all_cli query    --flows flows.bin --model model.bin
+//                        --rect 4,4,12,12 [--t <slot>] [--strategy usub]
+//   one4all_cli eval     --flows flows.bin --model model.bin --task 2
+//   one4all_cli search-structure --flows flows.bin --budget 50000
+//
+// The model file stores the network weights; a sidecar "<model>.meta"
+// records the hierarchy/window configuration so `query`/`eval` can
+// reconstruct the network before loading weights.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "data/flow_io.h"
+#include "eval/task_eval.h"
+#include "model/hierarchy_search.h"
+#include "model/one4all_net.h"
+#include "model/trainer.h"
+
+using namespace one4all;
+
+namespace {
+
+// -- Tiny flag parser ------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+struct ModelMeta {
+  int64_t grid = 32;
+  int64_t window = 2;
+  int64_t max_scale = 32;
+  int64_t channels = 8;
+};
+
+Status SaveMeta(const ModelMeta& meta, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::IOError("cannot write " + path);
+  std::fprintf(f, "grid=%lld\nwindow=%lld\nmax_scale=%lld\nchannels=%lld\n",
+               static_cast<long long>(meta.grid),
+               static_cast<long long>(meta.window),
+               static_cast<long long>(meta.max_scale),
+               static_cast<long long>(meta.channels));
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<ModelMeta> LoadMeta(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return Status::IOError("cannot read " + path);
+  ModelMeta meta;
+  char key[64];
+  long long value = 0;
+  while (std::fscanf(f, "%63[^=]=%lld\n", key, &value) == 2) {
+    const std::string k = key;
+    if (k == "grid") meta.grid = value;
+    else if (k == "window") meta.window = value;
+    else if (k == "max_scale") meta.max_scale = value;
+    else if (k == "channels") meta.channels = value;
+  }
+  std::fclose(f);
+  return meta;
+}
+
+Result<STDataset> LoadDataset(const std::string& flows_path,
+                              const ModelMeta& meta) {
+  O4A_ASSIGN_OR_RETURN(SyntheticFlows flows, LoadFlows(flows_path));
+  if (flows.frames[0].dim(0) != meta.grid) {
+    return Status::InvalidArgument("flow grid does not match model meta");
+  }
+  Hierarchy hierarchy =
+      Hierarchy::Uniform(meta.grid, meta.grid, meta.window, meta.max_scale);
+  return STDataset::Create(std::move(flows), hierarchy,
+                           TemporalFeatureSpec{});
+}
+
+// -- Subcommands ------------------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  const int64_t grid = flags.GetInt("grid", 32);
+  SyntheticDataOptions options =
+      flags.Get("preset", "taxi") == "freight"
+          ? SyntheticDataOptions::FreightPreset(grid, grid)
+          : SyntheticDataOptions::TaxiPreset(grid, grid);
+  options.num_timesteps = flags.GetInt("steps", 24 * 7 * 6);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", options.seed));
+  auto flows = GenerateSyntheticFlows(options);
+  if (!flows.ok()) {
+    std::cerr << flows.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string out = flags.Get("out", "flows.bin");
+  Status st = SaveFlows(*flows, out);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << flows->frames.size() << " frames of " << grid
+            << "x" << grid << " to " << out << "\n";
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  ModelMeta meta;
+  meta.grid = flags.GetInt("grid", 0);  // 0 -> derive from flows below
+  meta.window = flags.GetInt("window", 2);
+  meta.max_scale = flags.GetInt("max-scale", 32);
+  meta.channels = flags.GetInt("channels", 8);
+  auto flows = LoadFlows(flags.Get("flows", "flows.bin"));
+  if (!flows.ok()) {
+    std::cerr << flows.status().ToString() << "\n";
+    return 1;
+  }
+  if (meta.grid == 0) meta.grid = flows->frames[0].dim(0);
+  Hierarchy hierarchy =
+      Hierarchy::Uniform(meta.grid, meta.grid, meta.window, meta.max_scale);
+  auto dataset = STDataset::Create(flows.MoveValueUnsafe(), hierarchy,
+                                   TemporalFeatureSpec{});
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return 1;
+  }
+
+  One4AllNetOptions net_options;
+  net_options.channels = meta.channels;
+  net_options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  One4AllNet net(dataset->hierarchy(), dataset->spec(), net_options);
+  TrainOptions train_options;
+  train_options.epochs = static_cast<int>(flags.GetInt("epochs", 15));
+  train_options.learning_rate =
+      static_cast<float>(flags.GetInt("lr-milli", 3)) * 1e-3f;
+  train_options.early_stop_patience =
+      static_cast<int>(flags.GetInt("patience", 0));
+  train_options.verbose = true;
+  const TrainReport report = TrainModel(
+      &net, *dataset,
+      [&net](const STDataset& ds, const std::vector<int64_t>& batch) {
+        return net.Loss(ds, batch);
+      },
+      train_options);
+  std::cout << "trained " << net.NumParameters() << " parameters over "
+            << report.epochs_run << " epochs ("
+            << report.seconds_per_epoch << " s/epoch)\n";
+
+  const std::string model_path = flags.Get("model", "model.bin");
+  Status st = net.Save(model_path);
+  if (st.ok()) st = SaveMeta(meta, model_path + ".meta");
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "saved model to " << model_path << " (+ .meta)\n";
+  return 0;
+}
+
+Result<std::unique_ptr<One4AllNet>> LoadModel(const std::string& model_path,
+                                              const STDataset& dataset,
+                                              const ModelMeta& meta) {
+  One4AllNetOptions net_options;
+  net_options.channels = meta.channels;
+  auto net = std::make_unique<One4AllNet>(dataset.hierarchy(),
+                                          dataset.spec(), net_options);
+  O4A_RETURN_NOT_OK(net->Load(model_path));
+  return net;
+}
+
+int CmdQuery(const Flags& flags) {
+  const std::string model_path = flags.Get("model", "model.bin");
+  auto meta = LoadMeta(model_path + ".meta");
+  if (!meta.ok()) {
+    std::cerr << meta.status().ToString() << "\n";
+    return 1;
+  }
+  auto dataset = LoadDataset(flags.Get("flows", "flows.bin"), *meta);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return 1;
+  }
+  auto net = LoadModel(model_path, *dataset, *meta);
+  if (!net.ok()) {
+    std::cerr << net.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Region: --rect r0,c0,r1,c1 (atomic cells, end-exclusive).
+  GridMask region(meta->grid, meta->grid);
+  {
+    std::istringstream rect(flags.Get("rect", "0,0,4,4"));
+    int64_t r0, c0, r1, c1;
+    char comma;
+    rect >> r0 >> comma >> c0 >> comma >> r1 >> comma >> c1;
+    if (!rect || r0 < 0 || r1 > meta->grid || c0 < 0 || c1 > meta->grid ||
+        r0 >= r1 || c0 >= c1) {
+      std::cerr << "bad --rect (want r0,c0,r1,c1 inside the raster)\n";
+      return 1;
+    }
+    region.FillRect(r0, c0, r1, c1);
+  }
+
+  auto pipeline = MauPipeline::Build(net->get(), *dataset, SearchOptions{});
+  const int64_t t = flags.Has("t") ? flags.GetInt("t", 0)
+                                   : dataset->test_indices()[0];
+  const std::string strategy_name = flags.Get("strategy", "usub");
+  const QueryStrategy strategy =
+      strategy_name == "direct" ? QueryStrategy::kDirect
+      : strategy_name == "union" ? QueryStrategy::kUnion
+                                 : QueryStrategy::kUnionSubtraction;
+  auto response = pipeline->server().Predict(region, t, strategy);
+  if (!response.ok()) {
+    std::cerr << response.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "strategy=" << QueryStrategyName(strategy) << " t=" << t
+            << "\npredicted=" << response->value
+            << " actual=" << RegionTruth(*dataset, region, t)
+            << "\npieces=" << response->num_pieces
+            << " terms=" << response->num_terms
+            << " response=" << response->response_micros << " us\n";
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  const std::string model_path = flags.Get("model", "model.bin");
+  auto meta = LoadMeta(model_path + ".meta");
+  if (!meta.ok()) {
+    std::cerr << meta.status().ToString() << "\n";
+    return 1;
+  }
+  auto dataset = LoadDataset(flags.Get("flows", "flows.bin"), *meta);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return 1;
+  }
+  auto net = LoadModel(model_path, *dataset, *meta);
+  if (!net.ok()) {
+    std::cerr << net.status().ToString() << "\n";
+    return 1;
+  }
+  auto pipeline = MauPipeline::Build(net->get(), *dataset, SearchOptions{});
+  const auto tasks = PaperTasks(flags.Get("preset", "taxi") == "freight");
+  const int64_t which = flags.GetInt("task", 0);  // 0 = all
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (which != 0 && which != static_cast<int64_t>(i + 1)) continue;
+    const auto regions = MakeTaskRegions(*dataset, tasks[i]);
+    const auto result =
+        pipeline->Evaluate(regions, QueryStrategy::kUnionSubtraction);
+    std::cout << tasks[i].name << ": RMSE=" << result.rmse
+              << " MAPE=" << result.mape << " over " << result.num_queries
+              << " region queries\n";
+  }
+  return 0;
+}
+
+int CmdSearchStructure(const Flags& flags) {
+  auto flows = LoadFlows(flags.Get("flows", "flows.bin"));
+  if (!flows.ok()) {
+    std::cerr << flows.status().ToString() << "\n";
+    return 1;
+  }
+  HierarchySearchOptions options;
+  options.max_scale = flags.GetInt("max-scale", 16);
+  options.parameter_budget = flags.GetInt("budget", 0);
+  options.train.epochs = static_cast<int>(flags.GetInt("epochs", 3));
+  auto result =
+      SearchHierarchyStructure(*flows, TemporalFeatureSpec{}, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < result->candidates.size(); ++i) {
+    const auto& c = result->candidates[i];
+    std::cout << (i == result->best_index ? "* " : "  ") << "windows={";
+    for (size_t k = 0; k < c.windows.size(); ++k) {
+      std::cout << (k ? "," : "") << c.windows[k];
+    }
+    std::cout << "} params=" << c.num_parameters;
+    if (c.within_budget) {
+      std::cout << " val_loss=" << c.val_loss;
+    } else {
+      std::cout << " (over budget, skipped)";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int Usage() {
+  std::cerr << "usage: one4all_cli <generate|train|query|eval|"
+               "search-structure> [--flags]\n(see the header comment of "
+               "tools/one4all_cli.cc for examples)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "eval") return CmdEval(flags);
+  if (command == "search-structure") return CmdSearchStructure(flags);
+  return Usage();
+}
