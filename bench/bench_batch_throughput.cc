@@ -1,0 +1,166 @@
+// Throughput of the concurrent batch region-query engine: queries/sec of
+// BatchPredict (frame memoization + sharded LRU resolve cache + thread
+// pool) at 1, 4, and hardware threads, against the one-query-at-a-time
+// Predict loop the seed served from. Production traffic re-queries the
+// same areal units (tracts, hexagons, road segments) across time slots,
+// so the stream cycles a fixed region set over many slots.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/stopwatch.h"
+#include "core/thread_pool.h"
+#include "query/resolved_query_cache.h"
+
+namespace one4all {
+namespace bench {
+namespace {
+
+struct ModeResult {
+  std::string name;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double speedup = 1.0;
+};
+
+std::vector<BatchQuery> MakeQueryStream(const STDataset& dataset,
+                                        int64_t target_queries) {
+  RegionGeneratorOptions options;
+  options.style = RegionStyle::kVoronoi;
+  options.mean_cells = 12.0;
+  options.seed = 17;
+  const auto regions = GenerateRegions(dataset.hierarchy().atomic_height(),
+                                       dataset.hierarchy().atomic_width(),
+                                       options);
+  O4A_CHECK(!regions.empty());
+  // Cycle regions across the test slots until the stream is long enough —
+  // the region-reuse pattern the resolve cache is built for.
+  const auto& slots = dataset.test_indices();
+  std::vector<BatchQuery> stream;
+  stream.reserve(static_cast<size_t>(target_queries));
+  size_t r = 0, s = 0;
+  while (static_cast<int64_t>(stream.size()) < target_queries) {
+    stream.push_back(BatchQuery{regions[r], slots[s]});
+    if (++r == regions.size()) {
+      r = 0;
+      s = (s + 1) % slots.size();
+    }
+  }
+  std::cout << "query stream: " << stream.size() << " queries over "
+            << regions.size() << " distinct regions x " << slots.size()
+            << " time slots\n";
+  return stream;
+}
+
+double ChecksumOrDie(const std::vector<Result<QueryResponse>>& results) {
+  double sum = 0.0;
+  for (const auto& r : results) {
+    O4A_CHECK(r.ok()) << r.status().ToString();
+    sum += r->value;
+  }
+  return sum;
+}
+
+int main_impl() {
+  BenchConfig config = BenchConfig::FromEnv();
+  const char* env_queries = std::getenv("O4A_BENCH_QUERIES");
+  int64_t num_queries = env_queries != nullptr ? std::atoll(env_queries) : 0;
+  if (num_queries <= 0) {
+    if (env_queries != nullptr) {
+      std::cerr << "ignoring O4A_BENCH_QUERIES=\"" << env_queries
+                << "\" (want a positive integer)\n";
+    }
+    num_queries = 4000;
+  }
+
+  const STDataset dataset = MakeBenchDataset(DatasetKind::kTaxi, config);
+  HistoryMeanPredictor hm;  // throughput is model-independent
+  auto pipeline = MauPipeline::Build(&hm, dataset, SearchOptions{});
+  const RegionQueryServer& server = pipeline->server();
+  const auto stream = MakeQueryStream(dataset, num_queries);
+  const QueryStrategy strategy = QueryStrategy::kUnionSubtraction;
+
+  std::vector<ModeResult> modes;
+  double reference_checksum = 0.0;
+
+  // Baseline: the seed's serving loop — sequential Predict per query.
+  {
+    Stopwatch timer;
+    double sum = 0.0;
+    for (const BatchQuery& q : stream) {
+      auto response = server.Predict(q.region, q.t, strategy);
+      O4A_CHECK(response.ok());
+      sum += response->value;
+    }
+    ModeResult mode;
+    mode.name = "sequential Predict loop";
+    mode.seconds = timer.ElapsedSeconds();
+    modes.push_back(mode);
+    reference_checksum = sum;
+  }
+
+  // 1, 4, and hardware threads, keeping order and dropping duplicates.
+  std::vector<int> thread_counts;
+  for (int threads : {1, 4, ThreadPool::HardwareThreads()}) {
+    if (std::find(thread_counts.begin(), thread_counts.end(), threads) ==
+        thread_counts.end()) {
+      thread_counts.push_back(threads);
+    }
+  }
+
+  for (int threads : thread_counts) {
+    ResolvedQueryCache cache;
+    ThreadPool pool(threads);
+    BatchOptions options;
+    options.pool = &pool;
+    options.cache = &cache;
+    Stopwatch timer;
+    const auto results = server.BatchPredict(stream, strategy, options);
+    ModeResult mode;
+    mode.seconds = timer.ElapsedSeconds();
+    mode.name = "BatchPredict, cache, " + std::to_string(threads) +
+                (threads == 1 ? " thread" : " threads");
+    const double checksum = ChecksumOrDie(results);
+    O4A_CHECK(std::abs(checksum - reference_checksum) <
+              1e-6 * (1.0 + std::abs(reference_checksum)))
+        << "batch checksum drifted from sequential";
+    const auto stats = cache.Stats();
+    std::cout << mode.name << ": cache hits=" << stats.hits
+              << " misses=" << stats.misses
+              << " evictions=" << stats.evictions << "\n";
+    modes.push_back(mode);
+  }
+
+  TablePrinter table("Batch region-query throughput (" +
+                     std::to_string(dataset.hierarchy().atomic_height()) +
+                     "x" +
+                     std::to_string(dataset.hierarchy().atomic_width()) +
+                     " raster, Union & Subtraction)");
+  table.SetHeader({"Mode", "time (s)", "queries/s", "speedup"});
+  const double base_seconds = modes.front().seconds;
+  double best_speedup = 0.0;
+  for (ModeResult& mode : modes) {
+    mode.qps = static_cast<double>(stream.size()) / mode.seconds;
+    mode.speedup = base_seconds / mode.seconds;
+    best_speedup = std::max(best_speedup, mode.speedup);
+    table.AddRow({mode.name, TablePrinter::Num(mode.seconds, 3),
+                  TablePrinter::Num(mode.qps, 0),
+                  TablePrinter::Num(mode.speedup, 2)});
+  }
+  table.Print(std::cout);
+  PrintShapeCheck(
+      "BatchPredict beats the sequential loop by more than 2x",
+      best_speedup > 2.0);
+  return best_speedup > 2.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace one4all
+
+int main() {
+  std::cout << "=== Batch throughput: concurrent region-query engine ===\n";
+  return one4all::bench::main_impl();
+}

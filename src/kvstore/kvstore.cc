@@ -1,14 +1,16 @@
 #include "kvstore/kvstore.h"
 
+#include <mutex>
+
 namespace one4all {
 
 void KvStore::Put(const std::string& key, std::string value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   table_[key] = std::move(value);
 }
 
 Result<std::string> KvStore::Get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) {
     return Status::NotFound("key not found: " + key);
@@ -17,12 +19,12 @@ Result<std::string> KvStore::Get(const std::string& key) const {
 }
 
 bool KvStore::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return table_.count(key) > 0;
 }
 
 Status KvStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (table_.erase(key) == 0) {
     return Status::NotFound("key not found: " + key);
   }
@@ -31,7 +33,7 @@ Status KvStore::Delete(const std::string& key) {
 
 std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefix(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::pair<std::string, std::string>> out;
   for (auto it = table_.lower_bound(prefix); it != table_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -41,12 +43,12 @@ std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefix(
 }
 
 size_t KvStore::NumKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return table_.size();
 }
 
 int64_t KvStore::ApproxBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   int64_t bytes = 0;
   for (const auto& [k, v] : table_) {
     bytes += static_cast<int64_t>(k.size() + v.size());
@@ -55,7 +57,7 @@ int64_t KvStore::ApproxBytes() const {
 }
 
 void KvStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   table_.clear();
 }
 

@@ -6,7 +6,7 @@
 #define ONE4ALL_KVSTORE_KVSTORE_H_
 
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -40,7 +40,10 @@ class KvStore {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
+  // Reader-writer lock: the online query path is read-dominated (many
+  // concurrent GetFrame/GetValue readers per synced frame), so readers
+  // take the lock shared and only Put/Delete/Clear exclude each other.
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::string> table_;
 };
 

@@ -6,6 +6,7 @@
 #ifndef ONE4ALL_QUERY_QUERY_SERVER_H_
 #define ONE4ALL_QUERY_QUERY_SERVER_H_
 
+#include <memory>
 #include <vector>
 
 #include "combine/combination.h"
@@ -14,6 +15,9 @@
 #include "kvstore/prediction_store.h"
 
 namespace one4all {
+
+class ResolvedQueryCache;  // query/resolved_query_cache.h
+class ThreadPool;          // core/thread_pool.h
 
 /// \brief How a region query's decomposed pieces are turned into
 /// prediction terms (Table III's three strategies).
@@ -42,6 +46,25 @@ struct QueryResponse {
   double index_micros = 0.0;
   /// Response time in the paper's sense (decompose + index).
   double response_micros = 0.0;
+  /// True when the resolution came from a ResolvedQueryCache hit (the
+  /// decompose/index work was skipped; their timings are zero).
+  bool from_cache = false;
+};
+
+/// \brief One (region, time) query of a batch.
+struct BatchQuery {
+  GridMask region;
+  int64_t t = 0;
+};
+
+/// \brief Execution knobs for BatchPredict / BatchResolve.
+struct BatchOptions {
+  /// Worker threads when `pool` is null; <= 1 runs on the calling thread.
+  int num_threads = 1;
+  /// Optional shared pool (overrides num_threads); must outlive the call.
+  ThreadPool* pool = nullptr;
+  /// Optional resolve cache shared across calls; must outlive the call.
+  ResolvedQueryCache* cache = nullptr;
 };
 
 /// \brief The online serving component.
@@ -69,6 +92,30 @@ class RegionQueryServer {
   /// \brief Full query: resolve + evaluate at `t`.
   Result<QueryResponse> Predict(const GridMask& region, int64_t t,
                                 QueryStrategy strategy) const;
+
+  /// \brief Resolve with an optional cache: hits skip decomposition and
+  /// index retrieval entirely. With `cache == nullptr` this is a plain
+  /// Resolve wrapped in a shared_ptr. `cache_hit` (optional) reports
+  /// whether the resolution came from the cache.
+  Result<std::shared_ptr<const ResolvedQuery>> ResolveCached(
+      const GridMask& region, QueryStrategy strategy,
+      ResolvedQueryCache* cache, bool* cache_hit = nullptr) const;
+
+  /// \brief Resolves many regions, fanned out across `options` threads.
+  /// results[i] corresponds to regions[i]; per-query failures do not
+  /// abort the batch.
+  std::vector<Result<ResolvedQuery>> BatchResolve(
+      const std::vector<GridMask>& regions, QueryStrategy strategy,
+      const BatchOptions& options = {}) const;
+
+  /// \brief Answers many (region, t) queries concurrently. Beyond the
+  /// fan-out, each worker chunk memoizes prediction frames per
+  /// (layer, t), so a frame is deserialized at most once per chunk (a
+  /// few chunks per worker) instead of once per combination term.
+  /// results[i] corresponds to queries[i].
+  std::vector<Result<QueryResponse>> BatchPredict(
+      const std::vector<BatchQuery>& queries, QueryStrategy strategy,
+      const BatchOptions& options = {}) const;
 
  private:
   const Hierarchy* hierarchy_;

@@ -1,0 +1,123 @@
+#include "query/resolved_query_cache.h"
+
+#include <algorithm>
+
+namespace one4all {
+
+namespace {
+
+inline uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashMask(const GridMask& region, QueryStrategy strategy,
+                  uint64_t seed) {
+  uint64_t h = Mix64(seed ^ static_cast<uint64_t>(strategy));
+  h = Mix64(h ^ static_cast<uint64_t>(region.height()));
+  h = Mix64(h ^ static_cast<uint64_t>(region.width()));
+  // Pack cells into 64-bit words; masks are small (raster-sized), so a
+  // per-word mix is cheap relative to one decomposition.
+  uint64_t word = 0;
+  int bit = 0;
+  for (int64_t r = 0; r < region.height(); ++r) {
+    for (int64_t c = 0; c < region.width(); ++c) {
+      if (region.at(r, c)) word |= 1ull << bit;
+      if (++bit == 64) {
+        h = Mix64(h ^ word);
+        word = 0;
+        bit = 0;
+      }
+    }
+  }
+  if (bit > 0) h = Mix64(h ^ word);
+  return h;
+}
+
+}  // namespace
+
+RegionFingerprint FingerprintRegion(const GridMask& region,
+                                    QueryStrategy strategy) {
+  RegionFingerprint fp;
+  fp.lo = HashMask(region, strategy, 0x0123456789abcdefull);
+  fp.hi = HashMask(region, strategy, 0xfedcba9876543210ull);
+  return fp;
+}
+
+ResolvedQueryCache::ResolvedQueryCache(ResolvedQueryCacheOptions options) {
+  const size_t num_shards =
+      static_cast<size_t>(std::max(1, options.num_shards));
+  const size_t requested = std::max<size_t>(num_shards, options.capacity);
+  // Ceil so the effective capacity never undershoots the request;
+  // capacity() reports what the shards can actually hold.
+  per_shard_capacity_ = (requested + num_shards - 1) / num_shards;
+  capacity_ = per_shard_capacity_ * num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const ResolvedQuery> ResolvedQueryCache::Get(
+    const RegionFingerprint& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResolvedQueryCache::Put(const RegionFingerprint& key,
+                             std::shared_ptr<const ResolvedQuery> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.map.size() >= per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.map.emplace(key, shard.lru.begin());
+}
+
+ResolvedQueryCacheStats ResolvedQueryCache::Stats() const {
+  ResolvedQueryCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.size = Size();
+  return stats;
+}
+
+size_t ResolvedQueryCache::Size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+void ResolvedQueryCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+}  // namespace one4all

@@ -107,7 +107,9 @@ TEST(HierarchySearchTest, FindsBestWithinBudget) {
   const auto& best = result->candidates[result->best_index];
   EXPECT_TRUE(best.within_budget);
   for (const auto& c : result->candidates) {
-    if (c.within_budget) EXPECT_LE(best.val_loss, c.val_loss);
+    if (c.within_budget) {
+      EXPECT_LE(best.val_loss, c.val_loss);
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 // Tests for the KV store (HBase/Hive stand-in) and the prediction store.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "kvstore/prediction_store.h"
@@ -92,6 +93,75 @@ TEST(PredictionStoreTest, SyncOverwritesInPlace) {
   store.SyncFrame(1, 7, Tensor::Full({2, 2}, 9.0f));
   EXPECT_FLOAT_EQ(store.GetValue(1, 7, 0, 0), 9.0f);
   EXPECT_EQ(kv.NumKeys(), 1u);
+}
+
+TEST(PredictionStoreTest, ConcurrentReadersSeeConsistentFrames) {
+  // The batch query engine reads GetValue/GetFrame from many worker
+  // threads at once; every reader must observe exactly the synced bytes.
+  KvStore kv;
+  PredictionStore store(&kv);
+  Rng rng(3);
+  std::vector<Tensor> frames;
+  for (int64_t t = 0; t < 6; ++t) {
+    frames.push_back(Tensor::RandomUniform({4, 4}, &rng, 0.0f, 10.0f));
+    store.SyncFrame(1, t, frames.back());
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&store, &frames, &mismatches, w] {
+      for (int i = 0; i < 200; ++i) {
+        const int64_t t = (i + w) % 6;
+        const int64_t r = i % 4, c = (i / 4) % 4;
+        if (store.GetValue(1, t, r, c) !=
+            frames[static_cast<size_t>(t)].at(r, c)) {
+          mismatches.fetch_add(1);
+        }
+        auto frame = store.GetFrame(1, t);
+        if (!frame.ok() ||
+            !frame->AllClose(frames[static_cast<size_t>(t)])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(PredictionStoreTest, ConcurrentReadersAndHasFrameGuard) {
+  // HasFrame is the guard the serving pipeline checks before routing a
+  // time slot to the query server; it must stay exact while another
+  // thread keeps syncing new frames.
+  KvStore kv;
+  PredictionStore store(&kv);
+  for (int64_t t = 0; t < 8; t += 2) {
+    store.SyncFrame(2, t, Tensor::Full({2, 2}, static_cast<float>(t)));
+  }
+  std::atomic<bool> failed{false};
+  std::thread writer([&store] {
+    for (int64_t t = 100; t < 160; ++t) {
+      store.SyncFrame(3, t, Tensor::Full({1, 1}, 1.0f));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int w = 0; w < 3; ++w) {
+    readers.emplace_back([&store, &failed] {
+      for (int i = 0; i < 300; ++i) {
+        const int64_t t = i % 8;
+        const bool synced = (t % 2 == 0);
+        if (store.HasFrame(2, t) != synced) failed.store(true);
+        if (!synced &&
+            store.GetFrame(2, t).status().code() != StatusCode::kNotFound) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(kv.ScanPrefix("pred/03/").size(), 60u);
 }
 
 TEST(PredictionStoreTest, KeysAreScannableByLayer) {

@@ -3,6 +3,8 @@
 // through every baseline architecture.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "eval/task_eval.h"
 #include "model/baselines_graph.h"
 #include "test_util.h"
@@ -84,6 +86,45 @@ TEST_P(SeedSweepTest, ResolvedQueriesAlwaysCoverRegions) {
     Combination combo;
     combo.terms = resolved->terms;
     EXPECT_TRUE(combo.CoversExactly(ds.hierarchy(), region));
+  }
+}
+
+TEST_P(SeedSweepTest, UnionSubtractionMatchesBruteForceAtomicSum) {
+  // MAUP consistency invariant: with a consistent prediction store (each
+  // coarse frame aggregates the atomic frame, which the noise-free oracle
+  // guarantees), evaluating the kUnionSubtraction terms of ANY region must
+  // equal the brute-force sum of its layer-1 cell predictions — the
+  // signed multi-scale algebra may never change the answer, only the
+  // accuracy/latency trade-off.
+  const uint64_t seed = GetParam();
+  STDataset ds = TinyDataset(seed + 3000);
+  OraclePredictor oracle;  // exact: coarse frames = sums of atomic cells
+  auto pipeline = MauPipeline::Build(&oracle, ds, SearchOptions{});
+  const RegionQueryServer& server = pipeline->server();
+  const int64_t t = pipeline->test_timesteps()[seed %
+      pipeline->test_timesteps().size()];
+  for (int i = 0; i < 12; ++i) {
+    const GridMask region = testing::RandomMask(
+        8, 8, seed * 100 + static_cast<uint64_t>(i),
+        150 + 60 * (i % 10));
+    if (region.Empty()) continue;
+    auto resolved =
+        server.Resolve(region, QueryStrategy::kUnionSubtraction);
+    ASSERT_TRUE(resolved.ok());
+    const double via_terms = server.EvaluateTerms(resolved->terms, t);
+    // Brute force: one +1 term per atomic cell of the region.
+    std::vector<CombinationTerm> atomic_terms;
+    for (int64_t r = 0; r < 8; ++r) {
+      for (int64_t c = 0; c < 8; ++c) {
+        if (region.at(r, c)) {
+          atomic_terms.push_back(CombinationTerm{GridId{1, r, c}, 1});
+        }
+      }
+    }
+    const double brute_force = server.EvaluateTerms(atomic_terms, t);
+    EXPECT_NEAR(via_terms, brute_force,
+                1e-3 * (1.0 + std::abs(brute_force)))
+        << "seed " << seed << " mask " << i;
   }
 }
 

@@ -1,0 +1,299 @@
+// Tests for the concurrent batch region-query engine: BatchPredict /
+// BatchResolve parity with the sequential path, the sharded LRU
+// ResolvedQueryCache, and the ThreadPool substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "eval/task_eval.h"
+#include "query/resolved_query_cache.h"
+#include "test_util.h"
+
+namespace one4all {
+namespace {
+
+using testing::OraclePredictor;
+using testing::RandomMask;
+using testing::TinyDataset;
+
+constexpr QueryStrategy kAllStrategies[] = {
+    QueryStrategy::kDirect, QueryStrategy::kUnion,
+    QueryStrategy::kUnionSubtraction};
+
+struct BatchFixture {
+  STDataset ds;
+  std::unique_ptr<MauPipeline> pipeline;
+
+  explicit BatchFixture(std::vector<double> noise = {1.5, 0.7, 0.2},
+                        uint64_t seed = 91)
+      : ds(TinyDataset(seed)) {
+    OraclePredictor oracle(std::move(noise), seed + 1);
+    pipeline = MauPipeline::Build(&oracle, ds, SearchOptions{});
+  }
+
+  /// \brief (region x test-slot) cross product of `num_regions` random
+  /// non-empty masks.
+  std::vector<BatchQuery> MakeQueries(int num_regions,
+                                      uint64_t seed = 700) const {
+    std::vector<BatchQuery> queries;
+    for (int i = 0; i < num_regions; ++i) {
+      const GridMask region = RandomMask(8, 8, seed + i, 350);
+      if (region.Empty()) continue;
+      for (int64_t t : pipeline->test_timesteps()) {
+        queries.push_back(BatchQuery{region, t});
+      }
+    }
+    return queries;
+  }
+};
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(257);
+  for (auto& t : touched) t.store(0);
+  pool.ParallelFor(257, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      touched[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingleThread) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(5, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 5);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(QueryBatchTest, BatchMatchesSequentialAcrossStrategies) {
+  BatchFixture fx;
+  const auto queries = fx.MakeQueries(6);
+  ASSERT_FALSE(queries.empty());
+  const RegionQueryServer& server = fx.pipeline->server();
+  for (QueryStrategy strategy : kAllStrategies) {
+    const auto batch = server.BatchPredict(queries, strategy);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto sequential =
+          server.Predict(queries[i].region, queries[i].t, strategy);
+      ASSERT_TRUE(sequential.ok());
+      ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+      // Bitwise equality: the memoized evaluation sums the same floats in
+      // the same order as EvaluateTerms.
+      EXPECT_EQ(batch[i]->value, sequential->value)
+          << QueryStrategyName(strategy) << " query " << i;
+      EXPECT_EQ(batch[i]->num_pieces, sequential->num_pieces);
+      EXPECT_EQ(batch[i]->num_terms, sequential->num_terms);
+      EXPECT_FALSE(batch[i]->from_cache);
+    }
+  }
+}
+
+TEST(QueryBatchTest, MultiThreadedBatchMatchesSingleThreaded) {
+  BatchFixture fx;
+  const auto queries = fx.MakeQueries(8);
+  const RegionQueryServer& server = fx.pipeline->server();
+  ThreadPool pool(4);
+  for (QueryStrategy strategy : kAllStrategies) {
+    const auto single = server.BatchPredict(queries, strategy);
+    BatchOptions options;
+    options.pool = &pool;
+    const auto multi = server.BatchPredict(queries, strategy, options);
+    BatchOptions own_threads;
+    own_threads.num_threads = 3;
+    const auto own = server.BatchPredict(queries, strategy, own_threads);
+    ASSERT_EQ(multi.size(), single.size());
+    ASSERT_EQ(own.size(), single.size());
+    for (size_t i = 0; i < single.size(); ++i) {
+      ASSERT_TRUE(single[i].ok());
+      ASSERT_TRUE(multi[i].ok());
+      ASSERT_TRUE(own[i].ok());
+      EXPECT_EQ(multi[i]->value, single[i]->value);
+      EXPECT_EQ(own[i]->value, single[i]->value);
+    }
+  }
+}
+
+TEST(QueryBatchTest, CachedBatchMatchesAndHits) {
+  BatchFixture fx;
+  const auto queries = fx.MakeQueries(5);
+  const RegionQueryServer& server = fx.pipeline->server();
+  const auto plain =
+      server.BatchPredict(queries, QueryStrategy::kUnionSubtraction);
+
+  ResolvedQueryCache cache;
+  BatchOptions options;
+  options.cache = &cache;
+  const auto cached =
+      server.BatchPredict(queries, QueryStrategy::kUnionSubtraction, options);
+  ASSERT_EQ(cached.size(), plain.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_TRUE(cached[i].ok());
+    EXPECT_EQ(cached[i]->value, plain[i]->value);
+  }
+  // Each distinct region resolves once; every later time slot hits.
+  const auto stats = cache.Stats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_EQ(stats.size, static_cast<size_t>(stats.misses));
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<int64_t>(queries.size()));
+
+  // A second pass over the same queries is all hits.
+  const auto again =
+      server.BatchPredict(queries, QueryStrategy::kUnionSubtraction, options);
+  const auto stats2 = cache.Stats();
+  EXPECT_EQ(stats2.misses, stats.misses);
+  EXPECT_EQ(stats2.hits,
+            stats.hits + static_cast<int64_t>(queries.size()));
+  for (size_t i = 0; i < again.size(); ++i) {
+    ASSERT_TRUE(again[i].ok());
+    EXPECT_EQ(again[i]->value, plain[i]->value);
+    EXPECT_TRUE(again[i]->from_cache);
+  }
+}
+
+TEST(QueryBatchTest, StrategiesDoNotShareCacheEntries) {
+  BatchFixture fx;
+  const GridMask region = RandomMask(8, 8, 1234, 400);
+  ASSERT_FALSE(region.Empty());
+  ResolvedQueryCache cache;
+  const RegionQueryServer& server = fx.pipeline->server();
+  for (QueryStrategy strategy : kAllStrategies) {
+    bool hit = true;
+    auto resolved = server.ResolveCached(region, strategy, &cache, &hit);
+    ASSERT_TRUE(resolved.ok());
+    EXPECT_FALSE(hit) << QueryStrategyName(strategy);
+  }
+  EXPECT_EQ(cache.Size(), 3u);
+}
+
+TEST(QueryBatchTest, ErrorsStayPerQuery) {
+  BatchFixture fx;
+  std::vector<BatchQuery> queries = fx.MakeQueries(2);
+  ASSERT_GE(queries.size(), 2u);
+  BatchQuery bad;
+  bad.region = GridMask(3, 3);  // wrong extents
+  bad.region.Set(0, 0, true);
+  bad.t = queries[0].t;
+  queries.insert(queries.begin() + 1, bad);
+  const auto results =
+      fx.pipeline->server().BatchPredict(queries, QueryStrategy::kUnion);
+  ASSERT_EQ(results.size(), queries.size());
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(QueryBatchTest, BatchResolveMatchesResolve) {
+  BatchFixture fx;
+  std::vector<GridMask> regions;
+  for (int i = 0; i < 6; ++i) {
+    const GridMask region = RandomMask(8, 8, 40 + i, 380);
+    if (!region.Empty()) regions.push_back(region);
+  }
+  ASSERT_FALSE(regions.empty());
+  const RegionQueryServer& server = fx.pipeline->server();
+  BatchOptions options;
+  options.num_threads = 2;
+  const auto batch =
+      server.BatchResolve(regions, QueryStrategy::kUnionSubtraction, options);
+  ASSERT_EQ(batch.size(), regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const auto sequential =
+        server.Resolve(regions[i], QueryStrategy::kUnionSubtraction);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_TRUE(batch[i].ok());
+    ASSERT_EQ(batch[i]->terms.size(), sequential->terms.size());
+    for (size_t k = 0; k < sequential->terms.size(); ++k) {
+      EXPECT_EQ(batch[i]->terms[k], sequential->terms[k]);
+    }
+    EXPECT_EQ(batch[i]->num_pieces, sequential->num_pieces);
+  }
+}
+
+TEST(ResolvedQueryCacheTest, EvictsLeastRecentlyUsed) {
+  ResolvedQueryCacheOptions options;
+  options.capacity = 2;
+  options.num_shards = 1;  // deterministic eviction order
+  ResolvedQueryCache cache(options);
+
+  auto entry = [](int pieces) {
+    auto rq = std::make_shared<ResolvedQuery>();
+    rq->num_pieces = pieces;
+    return std::shared_ptr<const ResolvedQuery>(std::move(rq));
+  };
+  const RegionFingerprint a{1, 10}, b{2, 20}, c{3, 30};
+  cache.Put(a, entry(1));
+  cache.Put(b, entry(2));
+  ASSERT_NE(cache.Get(a), nullptr);  // refresh a; b is now LRU
+  cache.Put(c, entry(3));            // evicts b
+  EXPECT_EQ(cache.Get(b), nullptr);
+  ASSERT_NE(cache.Get(a), nullptr);
+  ASSERT_NE(cache.Get(c), nullptr);
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(ResolvedQueryCacheTest, FingerprintSeparatesMasksAndStrategies) {
+  const GridMask m1 = RandomMask(8, 8, 5, 400);
+  GridMask m2 = m1;
+  m2.Set(7, 7, !m2.at(7, 7));
+  const auto fp1 = FingerprintRegion(m1, QueryStrategy::kUnion);
+  const auto fp2 = FingerprintRegion(m2, QueryStrategy::kUnion);
+  const auto fp3 = FingerprintRegion(m1, QueryStrategy::kDirect);
+  EXPECT_FALSE(fp1 == fp2);
+  EXPECT_FALSE(fp1 == fp3);
+  EXPECT_TRUE(fp1 == FingerprintRegion(m1, QueryStrategy::kUnion));
+}
+
+TEST(ResolvedQueryCacheTest, ConcurrentGetPutIsSafe) {
+  ResolvedQueryCacheOptions options;
+  options.capacity = 64;
+  options.num_shards = 4;
+  ResolvedQueryCache cache(options);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&cache, w] {
+      for (int i = 0; i < 500; ++i) {
+        RegionFingerprint key{static_cast<uint64_t>(i % 100),
+                              static_cast<uint64_t>((i + w) % 50)};
+        if (auto hit = cache.Get(key)) {
+          EXPECT_GE(hit->num_pieces, 0);
+        } else {
+          auto rq = std::make_shared<ResolvedQuery>();
+          rq->num_pieces = i;
+          cache.Put(key, std::move(rq));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.Size(), 64u);
+}
+
+}  // namespace
+}  // namespace one4all
