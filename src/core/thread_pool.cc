@@ -74,7 +74,21 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+ThreadPool* ThreadPool::Shared() {
+  // Leaked intentionally: workers must outlive every static destructor
+  // that might still submit work during shutdown.
+  static ThreadPool* const pool = new ThreadPool(HardwareThreads());
+  return pool;
+}
+
+namespace {
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -45,6 +45,20 @@ class ThreadPool {
   /// \brief std::thread::hardware_concurrency() with a floor of 1.
   static int HardwareThreads();
 
+  /// \brief Lazily-created process-wide pool with HardwareThreads()
+  /// workers. The shared handle that Trainer, prediction ingest and the
+  /// batch query server default to, so one worker set serves training
+  /// epochs, tensor kernels and BatchPredict instead of each layer
+  /// spinning up its own threads. Never destroyed (workers idle when
+  /// unused).
+  static ThreadPool* Shared();
+
+  /// \brief True when the calling thread is a worker of any ThreadPool.
+  /// Code that would otherwise *default* to fanning out over Shared()
+  /// must stay sequential on worker threads — waiting on a pool from one
+  /// of its own workers deadlocks once every worker blocks that way.
+  static bool OnWorkerThread();
+
  private:
   void WorkerLoop();
 

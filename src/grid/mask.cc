@@ -1,22 +1,45 @@
 #include "grid/mask.h"
 
 #include <algorithm>
-#include <numeric>
 #include <sstream>
 
 namespace one4all {
 
+namespace {
+
+// Calls fn(word_index, mask) for every packed word overlapping the bit
+// range [b0, b1); `mask` selects exactly the range's bits in that word.
+template <typename Fn>
+void ForEachWordInBitRange(int64_t b0, int64_t b1, Fn&& fn) {
+  if (b0 >= b1) return;
+  const int64_t w0 = b0 >> 6, w1 = (b1 - 1) >> 6;
+  for (int64_t wi = w0; wi <= w1; ++wi) {
+    uint64_t mask = ~uint64_t{0};
+    if (wi == w0) mask &= ~uint64_t{0} << (static_cast<uint64_t>(b0) & 63);
+    if (wi == w1) {
+      const uint64_t top = static_cast<uint64_t>(b1 - 1) & 63;
+      mask &= ~uint64_t{0} >> (63 - top);
+    }
+    fn(static_cast<size_t>(wi), mask);
+  }
+}
+
+}  // namespace
+
 int64_t GridMask::Count() const {
-  return std::accumulate(cells_.begin(), cells_.end(), int64_t{0},
-                         [](int64_t acc, uint8_t v) { return acc + v; });
+  int64_t count = 0;
+  for (uint64_t word : words_) count += __builtin_popcountll(word);
+  return count;
 }
 
 void GridMask::FillRect(int64_t r0, int64_t c0, int64_t r1, int64_t c1) {
   O4A_CHECK(r0 >= 0 && c0 >= 0 && r1 <= h_ && c1 <= w_ && r0 <= r1 &&
             c0 <= c1);
   for (int64_t r = r0; r < r1; ++r) {
-    std::fill(cells_.begin() + r * w_ + c0, cells_.begin() + r * w_ + c1,
-              uint8_t{1});
+    ForEachWordInBitRange(r * w_ + c0, r * w_ + c1,
+                          [&](size_t wi, uint64_t mask) {
+                            words_[wi] |= mask;
+                          });
   }
 }
 
@@ -26,9 +49,12 @@ bool GridMask::ContainsRect(int64_t r0, int64_t c0, int64_t r1,
     return false;
   }
   for (int64_t r = r0; r < r1; ++r) {
-    for (int64_t c = c0; c < c1; ++c) {
-      if (!at(r, c)) return false;
-    }
+    bool full = true;
+    ForEachWordInBitRange(r * w_ + c0, r * w_ + c1,
+                          [&](size_t wi, uint64_t mask) {
+                            if ((words_[wi] & mask) != mask) full = false;
+                          });
+    if (!full) return false;
   }
   return true;
 }
@@ -36,16 +62,18 @@ bool GridMask::ContainsRect(int64_t r0, int64_t c0, int64_t r1,
 void GridMask::ClearRect(int64_t r0, int64_t c0, int64_t r1, int64_t c1) {
   O4A_CHECK(r0 >= 0 && c0 >= 0 && r1 <= h_ && c1 <= w_);
   for (int64_t r = r0; r < r1; ++r) {
-    std::fill(cells_.begin() + r * w_ + c0, cells_.begin() + r * w_ + c1,
-              uint8_t{0});
+    ForEachWordInBitRange(r * w_ + c0, r * w_ + c1,
+                          [&](size_t wi, uint64_t mask) {
+                            words_[wi] &= ~mask;
+                          });
   }
 }
 
 GridMask GridMask::Union(const GridMask& other) const {
   O4A_CHECK(h_ == other.h_ && w_ == other.w_);
   GridMask out(h_, w_);
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    out.cells_[i] = cells_[i] | other.cells_[i];
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] | other.words_[i];
   }
   return out;
 }
@@ -53,8 +81,8 @@ GridMask GridMask::Union(const GridMask& other) const {
 GridMask GridMask::Intersect(const GridMask& other) const {
   O4A_CHECK(h_ == other.h_ && w_ == other.w_);
   GridMask out(h_, w_);
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    out.cells_[i] = cells_[i] & other.cells_[i];
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
   }
   return out;
 }
@@ -62,36 +90,41 @@ GridMask GridMask::Intersect(const GridMask& other) const {
 GridMask GridMask::Subtract(const GridMask& other) const {
   O4A_CHECK(h_ == other.h_ && w_ == other.w_);
   GridMask out(h_, w_);
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    out.cells_[i] = cells_[i] & static_cast<uint8_t>(~other.cells_[i] & 1);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & ~other.words_[i];
   }
   return out;
 }
 
 bool GridMask::Intersects(const GridMask& other) const {
   O4A_CHECK(h_ == other.h_ && w_ == other.w_);
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i] & other.cells_[i]) return true;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
   }
   return false;
 }
 
 bool GridMask::Contains(const GridMask& other) const {
   O4A_CHECK(h_ == other.h_ && w_ == other.w_);
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    if (other.cells_[i] && !cells_[i]) return false;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (other.words_[i] & ~words_[i]) return false;
   }
   return true;
 }
 
 double GridMask::MaskedSum(const Tensor& field) const {
-  O4A_CHECK_EQ(field.ndim(), 2u);
-  O4A_CHECK_EQ(field.dim(0), h_);
-  O4A_CHECK_EQ(field.dim(1), w_);
+  O4A_DCHECK(field.ndim() == 2 && field.dim(0) == h_ && field.dim(1) == w_)
+      << "MaskedSum wants a [H,W] field matching the mask";
   double acc = 0.0;
   const float* p = field.data();
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i]) acc += p[i];
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t word = words_[wi];
+    const int64_t base = static_cast<int64_t>(wi) << 6;
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      acc += p[base + bit];
+      word &= word - 1;  // clear lowest set bit
+    }
   }
   return acc;
 }

@@ -14,26 +14,45 @@
 namespace one4all {
 
 /// \brief Binary H x W assignment matrix A^R (Definition 4).
+///
+/// Cells are packed 64 per uint64_t word (bit index r*W + c, row-major),
+/// so the set algebra (Union / Intersect / Subtract / Intersects /
+/// Contains) and Count run word-parallel — one AND/OR/popcount per 64
+/// cells instead of a byte loop. Bits past H*W in the last word are kept
+/// zero (the class invariant every mutator preserves), which lets
+/// equality, emptiness and fingerprinting compare raw words.
 class GridMask {
  public:
   GridMask() = default;
   GridMask(int64_t h, int64_t w)
-      : h_(h), w_(w), cells_(static_cast<size_t>(h * w), 0) {}
+      : h_(h), w_(w), words_(static_cast<size_t>((h * w + 63) / 64), 0) {}
 
   int64_t height() const { return h_; }
   int64_t width() const { return w_; }
 
   bool at(int64_t r, int64_t c) const {
     O4A_DCHECK(InBounds(r, c));
-    return cells_[static_cast<size_t>(r * w_ + c)] != 0;
+    const int64_t bit = r * w_ + c;
+    return (words_[static_cast<size_t>(bit >> 6)] >>
+            (static_cast<uint64_t>(bit) & 63)) &
+           1u;
   }
   void Set(int64_t r, int64_t c, bool value) {
     O4A_DCHECK(InBounds(r, c));
-    cells_[static_cast<size_t>(r * w_ + c)] = value ? 1 : 0;
+    const int64_t bit = r * w_ + c;
+    const uint64_t mask = uint64_t{1} << (static_cast<uint64_t>(bit) & 63);
+    if (value) {
+      words_[static_cast<size_t>(bit >> 6)] |= mask;
+    } else {
+      words_[static_cast<size_t>(bit >> 6)] &= ~mask;
+    }
   }
   bool InBounds(int64_t r, int64_t c) const {
     return r >= 0 && r < h_ && c >= 0 && c < w_;
   }
+
+  /// \brief Packed cell words, bit index r*W + c; trailing bits are zero.
+  const std::vector<uint64_t>& words() const { return words_; }
 
   /// \brief Number of cells set to 1.
   int64_t Count() const;
@@ -57,12 +76,13 @@ class GridMask {
   bool Contains(const GridMask& other) const;
 
   bool operator==(const GridMask& other) const {
-    return h_ == other.h_ && w_ == other.w_ && cells_ == other.cells_;
+    return h_ == other.h_ && w_ == other.w_ && words_ == other.words_;
   }
 
-  /// \brief Sum of `field` over the masked cells; field must be [H,W] or
-  /// [C,H,W] (summed over channels per cell? No: returns the sum over
-  /// masked cells of a single-channel [H,W] field).
+  /// \brief Returns the sum of `field` over this mask's set cells.
+  /// `field` must be a 2-D [H,W] tensor whose extents equal the mask's
+  /// (shape enforced with O4A_DCHECK); multi-channel [C,H,W] fields are
+  /// not accepted — callers sum each channel's [H,W] plane separately.
   double MaskedSum(const Tensor& field) const;
 
   /// \brief ASCII art for debugging ('#' = 1, '.' = 0).
@@ -70,7 +90,7 @@ class GridMask {
 
  private:
   int64_t h_ = 0, w_ = 0;
-  std::vector<uint8_t> cells_;
+  std::vector<uint64_t> words_;
 };
 
 /// \brief Signed combination mask: entries in {-1, 0, +1} on the atomic

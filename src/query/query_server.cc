@@ -7,6 +7,7 @@
 #include "core/stopwatch.h"
 #include "core/thread_pool.h"
 #include "query/resolved_query_cache.h"
+#include "tensor/gemm.h"
 
 namespace one4all {
 
@@ -170,6 +171,15 @@ void RunSharded(const BatchOptions& options, int64_t n,
                 const std::function<void(int64_t, int64_t)>& body) {
   if (options.pool != nullptr) {
     options.pool->ParallelFor(n, body);
+  } else if (options.num_threads == 0) {
+    // Resolve through the central policy: Shared() by default, sequential
+    // when issued from a pool worker (waiting on a pool from one of its
+    // own workers would deadlock).
+    if (ThreadPool* pool = ResolveComputePool()) {
+      pool->ParallelFor(n, body);
+    } else {
+      body(0, n);
+    }
   } else if (options.num_threads > 1) {
     ThreadPool pool(options.num_threads);
     pool.ParallelFor(n, body);

@@ -59,7 +59,9 @@ struct BatchQuery {
 
 /// \brief Execution knobs for BatchPredict / BatchResolve.
 struct BatchOptions {
-  /// Worker threads when `pool` is null; <= 1 runs on the calling thread.
+  /// Worker threads when `pool` is null: 1 runs on the calling thread,
+  /// 0 fans out over the process-wide ThreadPool::Shared() (the same
+  /// worker set the tensor kernels use), > 1 spins up a per-call pool.
   int num_threads = 1;
   /// Optional shared pool (overrides num_threads); must outlive the call.
   ThreadPool* pool = nullptr;

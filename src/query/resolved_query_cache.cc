@@ -19,21 +19,10 @@ uint64_t HashMask(const GridMask& region, QueryStrategy strategy,
   uint64_t h = Mix64(seed ^ static_cast<uint64_t>(strategy));
   h = Mix64(h ^ static_cast<uint64_t>(region.height()));
   h = Mix64(h ^ static_cast<uint64_t>(region.width()));
-  // Pack cells into 64-bit words; masks are small (raster-sized), so a
-  // per-word mix is cheap relative to one decomposition.
-  uint64_t word = 0;
-  int bit = 0;
-  for (int64_t r = 0; r < region.height(); ++r) {
-    for (int64_t c = 0; c < region.width(); ++c) {
-      if (region.at(r, c)) word |= 1ull << bit;
-      if (++bit == 64) {
-        h = Mix64(h ^ word);
-        word = 0;
-        bit = 0;
-      }
-    }
-  }
-  if (bit > 0) h = Mix64(h ^ word);
+  // GridMask already stores cells packed 64 per word in row-major bit
+  // order with zeroed trailing bits, so one mix per word hashes the mask
+  // without touching individual cells.
+  for (const uint64_t word : region.words()) h = Mix64(h ^ word);
   return h;
 }
 

@@ -1,11 +1,19 @@
 // Numeric kernels used by the autograd layer: matmul, im2col convolution
 // (forward and backward), pooling, nearest-neighbour upsampling, channel
 // concatenation, and softmax. All operate on NCHW tensors.
+//
+// The matmul and convolution entry points run on the blocked SGEMM in
+// tensor/gemm.h: scratch comes from the calling thread's Workspace arena
+// and, when a compute pool is installed (ScopedComputePool), convolutions
+// fan out batch samples and large matmuls fan out row blocks across it.
+// The scalar reference implementations live on in namespace `naive` as
+// the parity oracle for tests and benchmarks.
 #ifndef ONE4ALL_TENSOR_KERNELS_H_
 #define ONE4ALL_TENSOR_KERNELS_H_
 
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace one4all {
@@ -39,9 +47,20 @@ struct Conv2dSpec {
 Tensor Im2Col(const Tensor& input, int64_t sample, int64_t kh, int64_t kw,
               const Conv2dSpec& spec);
 
+/// \brief Im2Col writing into caller-provided storage of at least
+/// C*kh*kw * out_h*out_w floats (a Workspace span on the hot path), so
+/// steady-state convolutions allocate nothing.
+void Im2ColInto(const Tensor& input, int64_t sample, int64_t kh, int64_t kw,
+                const Conv2dSpec& spec, float* out);
+
 /// \brief Scatters an im2col matrix back into an input gradient (col2im).
 void Col2Im(const Tensor& cols, int64_t kh, int64_t kw,
             const Conv2dSpec& spec, Tensor* grad_input, int64_t sample);
+
+/// \brief Col2Im reading from raw [C*kh*kw, out_h*out_w] storage (a
+/// Workspace span on the hot path).
+void Col2ImFrom(const float* cols, int64_t kh, int64_t kw,
+                const Conv2dSpec& spec, Tensor* grad_input, int64_t sample);
 
 /// \brief 2-D convolution. input [N,C,H,W], weight [F,C,kh,kw], bias [F]
 /// (pass an empty tensor to skip bias). Returns [N,F,outH,outW].
@@ -76,6 +95,25 @@ Tensor SoftmaxRows(const Tensor& logits);
 /// \brief Backward of SoftmaxRows given the forward output.
 Tensor SoftmaxRowsBackward(const Tensor& softmax_out,
                            const Tensor& grad_output);
+
+/// \brief Scalar reference implementations of the compute-bound kernels.
+///
+/// These are the seed's original triple-loop kernels, kept verbatim as
+/// the correctness oracle: parity tests pin the optimized paths to them
+/// within 1e-4, and bench_kernels reports speedup against them.
+namespace naive {
+
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const Conv2dSpec& spec);
+void Conv2dBackward(const Tensor& input, const Tensor& weight,
+                    const Tensor& grad_output, const Conv2dSpec& spec,
+                    Tensor* grad_input, Tensor* grad_weight,
+                    Tensor* grad_bias);
+
+}  // namespace naive
 
 }  // namespace one4all
 

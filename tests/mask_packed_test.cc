@@ -1,0 +1,225 @@
+// Randomized property tests for the word-packed GridMask: every packed
+// set operation is checked against a byte-per-cell reference model over
+// random masks and rectangles, including widths that are not multiples of
+// 64 (so ranges straddle word boundaries) and the trailing-bit invariant
+// the packed equality/fingerprint paths rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "grid/mask.h"
+#include "query/resolved_query_cache.h"
+
+namespace one4all {
+namespace {
+
+// Byte-per-cell reference model mirroring the packed mask's semantics.
+struct ByteMask {
+  int64_t h = 0, w = 0;
+  std::vector<uint8_t> cells;
+
+  ByteMask(int64_t h_in, int64_t w_in)
+      : h(h_in), w(w_in), cells(static_cast<size_t>(h * w), 0) {}
+
+  uint8_t& at(int64_t r, int64_t c) {
+    return cells[static_cast<size_t>(r * w + c)];
+  }
+  uint8_t at(int64_t r, int64_t c) const {
+    return cells[static_cast<size_t>(r * w + c)];
+  }
+};
+
+GridMask ToPacked(const ByteMask& m) {
+  GridMask out(m.h, m.w);
+  for (int64_t r = 0; r < m.h; ++r) {
+    for (int64_t c = 0; c < m.w; ++c) {
+      if (m.at(r, c)) out.Set(r, c, true);
+    }
+  }
+  return out;
+}
+
+void ExpectSame(const GridMask& packed, const ByteMask& ref) {
+  ASSERT_EQ(packed.height(), ref.h);
+  ASSERT_EQ(packed.width(), ref.w);
+  for (int64_t r = 0; r < ref.h; ++r) {
+    for (int64_t c = 0; c < ref.w; ++c) {
+      ASSERT_EQ(packed.at(r, c), ref.at(r, c) != 0)
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+// Uniform integer in [lo, hi] (inclusive).
+int64_t RandInt(Rng* rng, int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  rng->UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+ByteMask RandomByteMask(int64_t h, int64_t w, double density, Rng* rng) {
+  ByteMask m(h, w);
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      if (rng->Uniform() < density) m.at(r, c) = 1;
+    }
+  }
+  return m;
+}
+
+void CheckTrailingBitsZero(const GridMask& mask) {
+  const int64_t bits = mask.height() * mask.width();
+  if (mask.words().empty()) return;
+  const int64_t used_in_last = bits - 64 * (static_cast<int64_t>(
+                                               mask.words().size()) -
+                                           1);
+  if (used_in_last == 64) return;
+  const uint64_t junk =
+      mask.words().back() &
+      (~uint64_t{0} << static_cast<uint64_t>(used_in_last));
+  EXPECT_EQ(junk, 0u);
+}
+
+// Extents chosen so bit ranges land inside words, straddle boundaries,
+// and end exactly on them.
+const int64_t kExtents[][2] = {{1, 1},   {3, 5},   {7, 64},  {9, 65},
+                               {13, 63}, {32, 32}, {5, 128}, {11, 100}};
+
+TEST(MaskPackedPropertyTest, SetOpsMatchByteReference) {
+  Rng rng(2024);
+  for (const auto& extent : kExtents) {
+    const int64_t h = extent[0], w = extent[1];
+    for (int round = 0; round < 20; ++round) {
+      const double da = rng.Uniform(), db = rng.Uniform();
+      const ByteMask ra = RandomByteMask(h, w, da, &rng);
+      const ByteMask rb = RandomByteMask(h, w, db, &rng);
+      const GridMask a = ToPacked(ra), b = ToPacked(rb);
+
+      ByteMask want_union(h, w), want_inter(h, w), want_sub(h, w);
+      bool want_intersects = false, want_contains = true;
+      int64_t want_count = 0;
+      for (int64_t r = 0; r < h; ++r) {
+        for (int64_t c = 0; c < w; ++c) {
+          const bool va = ra.at(r, c) != 0, vb = rb.at(r, c) != 0;
+          want_union.at(r, c) = va || vb;
+          want_inter.at(r, c) = va && vb;
+          want_sub.at(r, c) = va && !vb;
+          want_intersects = want_intersects || (va && vb);
+          want_contains = want_contains && (!vb || va);
+          want_count += va ? 1 : 0;
+        }
+      }
+
+      ExpectSame(a.Union(b), want_union);
+      ExpectSame(a.Intersect(b), want_inter);
+      ExpectSame(a.Subtract(b), want_sub);
+      EXPECT_EQ(a.Intersects(b), want_intersects);
+      EXPECT_EQ(a.Contains(b), want_contains);
+      EXPECT_EQ(a.Count(), want_count);
+      CheckTrailingBitsZero(a.Union(b));
+      CheckTrailingBitsZero(a.Subtract(b));
+    }
+  }
+}
+
+TEST(MaskPackedPropertyTest, RectOpsMatchByteReference) {
+  Rng rng(77);
+  for (const auto& extent : kExtents) {
+    const int64_t h = extent[0], w = extent[1];
+    for (int round = 0; round < 25; ++round) {
+      ByteMask ref = RandomByteMask(h, w, 0.4, &rng);
+      GridMask packed = ToPacked(ref);
+
+      const int64_t r0 = RandInt(&rng, 0, h - 1), c0 = RandInt(&rng, 0, w - 1);
+      const int64_t r1 = RandInt(&rng, r0, h), c1 = RandInt(&rng, c0, w);
+
+      // ContainsRect parity before mutation.
+      bool want_full = r1 > r0 && c1 > c0;
+      for (int64_t r = r0; r < r1 && want_full; ++r) {
+        for (int64_t c = c0; c < c1; ++c) {
+          if (!ref.at(r, c)) {
+            want_full = false;
+            break;
+          }
+        }
+      }
+      EXPECT_EQ(packed.ContainsRect(r0, c0, r1, c1), want_full);
+
+      if (round % 2 == 0) {
+        packed.FillRect(r0, c0, r1, c1);
+        for (int64_t r = r0; r < r1; ++r) {
+          for (int64_t c = c0; c < c1; ++c) ref.at(r, c) = 1;
+        }
+        EXPECT_TRUE(r1 == r0 || c1 == c0 ||
+                    packed.ContainsRect(r0, c0, r1, c1));
+      } else {
+        packed.ClearRect(r0, c0, r1, c1);
+        for (int64_t r = r0; r < r1; ++r) {
+          for (int64_t c = c0; c < c1; ++c) ref.at(r, c) = 0;
+        }
+      }
+      ExpectSame(packed, ref);
+      CheckTrailingBitsZero(packed);
+    }
+  }
+}
+
+TEST(MaskPackedPropertyTest, EqualityAndSetClearRoundTrip) {
+  Rng rng(5);
+  for (int round = 0; round < 30; ++round) {
+    const int64_t h = RandInt(&rng, 1, 20), w = RandInt(&rng, 1, 90);
+    const ByteMask ref = RandomByteMask(h, w, 0.5, &rng);
+    GridMask a = ToPacked(ref), b = ToPacked(ref);
+    EXPECT_TRUE(a == b);
+    const int64_t r = RandInt(&rng, 0, h - 1), c = RandInt(&rng, 0, w - 1);
+    const bool was = a.at(r, c);
+    a.Set(r, c, !was);
+    EXPECT_FALSE(a == b);
+    EXPECT_EQ(a.Count(), b.Count() + (was ? -1 : 1));
+    a.Set(r, c, was);
+    EXPECT_TRUE(a == b);
+  }
+}
+
+TEST(MaskPackedPropertyTest, MaskedSumMatchesCellLoop) {
+  Rng rng(9);
+  for (const auto& extent : kExtents) {
+    const int64_t h = extent[0], w = extent[1];
+    const ByteMask ref = RandomByteMask(h, w, 0.3, &rng);
+    const GridMask packed = ToPacked(ref);
+    Tensor field = Tensor::RandomNormal({h, w}, &rng);
+    double want = 0.0;
+    for (int64_t r = 0; r < h; ++r) {
+      for (int64_t c = 0; c < w; ++c) {
+        if (ref.at(r, c)) want += field.at(r, c);
+      }
+    }
+    EXPECT_NEAR(packed.MaskedSum(field), want, 1e-6);
+  }
+}
+
+TEST(MaskPackedPropertyTest, FingerprintInsensitiveToHistory) {
+  // Two masks with equal cells must fingerprint identically no matter how
+  // they were built (Set vs FillRect vs set-then-clear), since the cache
+  // keys on content.
+  GridMask a(9, 70), b(9, 70);
+  a.FillRect(2, 10, 7, 66);
+  for (int64_t r = 2; r < 7; ++r) {
+    for (int64_t c = 10; c < 66; ++c) b.Set(r, c, true);
+  }
+  b.Set(0, 0, true);
+  b.Set(0, 0, false);
+  EXPECT_TRUE(a == b);
+  const auto fa =
+      FingerprintRegion(a, QueryStrategy::kUnionSubtraction);
+  const auto fb =
+      FingerprintRegion(b, QueryStrategy::kUnionSubtraction);
+  EXPECT_TRUE(fa == fb);
+  // And strategy is part of the key.
+  const auto fu = FingerprintRegion(a, QueryStrategy::kUnion);
+  EXPECT_FALSE(fa == fu);
+}
+
+}  // namespace
+}  // namespace one4all
