@@ -8,13 +8,11 @@
 namespace one4all {
 namespace bench {
 
-namespace {
 int64_t EnvInt(const char* name, int64_t fallback) {
   const char* value = std::getenv(name);
   if (!value) return fallback;
   return std::strtoll(value, nullptr, 10);
 }
-}  // namespace
 
 BenchConfig BenchConfig::FromEnv() {
   BenchConfig config;

@@ -96,6 +96,9 @@ QueryEvalResult EvaluateForTable1(NamedPredictor* entry,
 /// our measurements reproduce it.
 void PrintShapeCheck(const std::string& claim, bool holds);
 
+/// \brief Integer env-var override; `fallback` when unset.
+int64_t EnvInt(const char* name, int64_t fallback);
+
 }  // namespace bench
 }  // namespace one4all
 

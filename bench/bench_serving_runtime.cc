@@ -1,0 +1,277 @@
+// Sustained throughput of the online serving runtime *while epochs
+// roll*: a static-store BatchPredict baseline (the PR-1 engine over a
+// fully pre-synced generation) against the ServingRuntime answering the
+// same kind of query storm concurrently with the stream ingestor
+// publishing one epoch per timestep. Acceptance (ISSUE 3): serving
+// throughput within 2x of the static baseline while an epoch is
+// published at least every 50 ms, with zero consistency violations.
+//
+// Emits BENCH_serving.json (override with O4A_BENCH_JSON, empty
+// disables). Env knobs: O4A_BENCH_QUERIES (static-phase stream length),
+// O4A_BENCH_CLIENTS (storm client threads), O4A_BENCH_STRICT (default
+// 1: exit nonzero when a shape check misses).
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rng.h"
+#include "core/stopwatch.h"
+#include "core/thread_pool.h"
+#include "query/resolved_query_cache.h"
+#include "serve/serving_runtime.h"
+
+namespace one4all {
+namespace bench {
+namespace {
+
+std::vector<GridMask> MakeRegions(const STDataset& dataset) {
+  RegionGeneratorOptions options;
+  options.style = RegionStyle::kVoronoi;
+  options.mean_cells = 12.0;
+  options.seed = 17;
+  auto regions = GenerateRegions(dataset.hierarchy().atomic_height(),
+                                 dataset.hierarchy().atomic_width(),
+                                 options);
+  O4A_CHECK(!regions.empty());
+  return regions;
+}
+
+struct ServingResult {
+  double baseline_qps = 0.0;
+  double serving_qps = 0.0;
+  double ratio = 0.0;
+  int64_t serving_queries = 0;
+  int64_t epochs_published = 0;
+  double mean_publish_interval_ms = 0.0;
+  double publish_p99_micros = 0.0;
+  double query_p50_micros = 0.0;
+  double query_p99_micros = 0.0;
+  int64_t inconsistent = 0;
+  int64_t rejected = 0;
+};
+
+void WriteJson(const std::string& path, const ServingResult& r,
+               int clients) {
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"bench\": \"serving_runtime\",\n";
+  js << "  \"clients\": " << clients << ",\n";
+  js << "  \"baseline_qps\": " << TablePrinter::Num(r.baseline_qps, 0)
+     << ",\n";
+  js << "  \"serving_qps\": " << TablePrinter::Num(r.serving_qps, 0)
+     << ",\n";
+  js << "  \"ratio\": " << TablePrinter::Num(r.ratio, 3) << ",\n";
+  js << "  \"serving_queries\": " << r.serving_queries << ",\n";
+  js << "  \"epochs_published\": " << r.epochs_published << ",\n";
+  js << "  \"mean_publish_interval_ms\": "
+     << TablePrinter::Num(r.mean_publish_interval_ms, 2) << ",\n";
+  js << "  \"publish_p99_micros\": "
+     << TablePrinter::Num(r.publish_p99_micros, 1) << ",\n";
+  js << "  \"query_p50_micros\": "
+     << TablePrinter::Num(r.query_p50_micros, 1) << ",\n";
+  js << "  \"query_p99_micros\": "
+     << TablePrinter::Num(r.query_p99_micros, 1) << ",\n";
+  js << "  \"inconsistent\": " << r.inconsistent << ",\n";
+  js << "  \"rejected\": " << r.rejected << "\n";
+  js << "}\n";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not open " << path << " for writing\n";
+    return;
+  }
+  out << js.str();
+  std::cout << "wrote " << path << "\n";
+}
+
+int main_impl() {
+  BenchConfig config = BenchConfig::FromEnv();
+  const int64_t num_queries =
+      std::max<int64_t>(1, EnvInt("O4A_BENCH_QUERIES", 4000));
+  const int clients = static_cast<int>(std::max<int64_t>(
+      1, EnvInt("O4A_BENCH_CLIENTS",
+                std::max(2, ThreadPool::HardwareThreads() - 1))));
+
+  const STDataset dataset = MakeBenchDataset(DatasetKind::kTaxi, config);
+  HistoryMeanPredictor hm;  // throughput is model-independent
+  auto pipeline = MauPipeline::Build(&hm, dataset, SearchOptions{});
+  const auto regions = MakeRegions(dataset);
+  const auto& slots = dataset.test_indices();
+  const QueryStrategy strategy = QueryStrategy::kUnionSubtraction;
+  ServingResult result;
+
+  // -- Phase 1: static-store baseline (PR-1 engine, frames pre-synced) --
+  {
+    std::vector<BatchQuery> stream;
+    stream.reserve(static_cast<size_t>(num_queries));
+    size_t r = 0, s = 0;
+    while (static_cast<int64_t>(stream.size()) < num_queries) {
+      stream.push_back(BatchQuery{regions[r], slots[s]});
+      if (++r == regions.size()) {
+        r = 0;
+        s = (s + 1) % slots.size();
+      }
+    }
+    ResolvedQueryCache cache;
+    ThreadPool pool(ThreadPool::HardwareThreads());
+    BatchOptions options;
+    options.pool = &pool;
+    options.cache = &cache;
+    Stopwatch timer;
+    const auto results =
+        pipeline->server().BatchPredict(stream, strategy, options);
+    const double seconds = timer.ElapsedSeconds();
+    for (const auto& response : results) {
+      O4A_CHECK(response.ok()) << response.status().ToString();
+    }
+    result.baseline_qps =
+        static_cast<double>(stream.size()) / seconds;
+    std::cout << "static baseline: " << stream.size() << " queries in "
+              << TablePrinter::Num(seconds, 3) << " s ("
+              << TablePrinter::Num(result.baseline_qps, 0) << " q/s)\n";
+  }
+
+  // -- Phase 2: the same storm while the serving runtime rolls epochs --
+  {
+    ServingRuntimeOptions options;
+    options.strategy = strategy;
+    options.num_query_threads = 1;  // concurrency comes from the clients
+    options.max_inflight_queries = 1 << 20;
+    options.ingest.start_t = slots.front();
+    options.ingest.num_timesteps = static_cast<int64_t>(slots.size());
+    // Paced well inside the 50 ms epoch-cadence budget; the ingest loop
+    // still pays full stage+publish cost per epoch.
+    options.ingest.min_publish_interval_ms = 10;
+    ServingRuntime runtime(&dataset.hierarchy(), &pipeline->index(),
+                           &dataset, MakeGroundTruthInference(&dataset),
+                           options);
+
+    std::atomic<int64_t> answered{0};
+    std::atomic<int64_t> inconsistent{0};
+    std::atomic<int64_t> rejected{0};
+
+    runtime.Start();
+    O4A_CHECK(runtime.ingestor().WaitUntilPublished(slots.front()));
+    Stopwatch storm_timer;
+    std::vector<std::thread> storm;
+    for (int c = 0; c < clients; ++c) {
+      storm.emplace_back([&, c] {
+        Rng rng(static_cast<uint64_t>(97 + c));
+        while (!runtime.ingestor().done()) {
+          const int64_t latest = runtime.epochs().published_latest_t();
+          const int64_t span = latest - slots.front() + 1;
+          std::vector<BatchQuery> batch;
+          batch.reserve(256);
+          for (int i = 0; i < 256; ++i) {
+            const size_t region =
+                static_cast<size_t>(rng.UniformInt(regions.size()));
+            const int64_t t =
+                slots.front() +
+                static_cast<int64_t>(
+                    rng.UniformInt(static_cast<uint64_t>(span)));
+            batch.push_back(BatchQuery{regions[region], t});
+          }
+          auto results = runtime.QueryBatch(batch);
+          if (!results.ok()) {
+            rejected.fetch_add(static_cast<int64_t>(batch.size()));
+            continue;
+          }
+          int64_t ok_count = 0;
+          for (size_t i = 0; i < results->size(); ++i) {
+            const auto& response = (*results)[i];
+            O4A_CHECK(response.ok()) << response.status().ToString();
+            ++ok_count;
+            // Ground-truth inference + exact-cover combinations:
+            // every answer must reproduce the region's true flow.
+            const double truth =
+                RegionTruth(dataset, batch[i].region, batch[i].t);
+            if (std::abs(response.ValueOrDie().value - truth) >
+                1e-3 * (1.0 + std::abs(truth))) {
+              inconsistent.fetch_add(1);
+            }
+          }
+          answered.fetch_add(ok_count);
+        }
+      });
+    }
+    for (auto& client : storm) client.join();
+    const double storm_seconds = storm_timer.ElapsedSeconds();
+    runtime.Stop();
+    O4A_CHECK(runtime.ingestor().status().ok())
+        << runtime.ingestor().status().ToString();
+
+    const auto telemetry = runtime.Telemetry();
+    result.serving_queries = answered.load();
+    result.serving_qps =
+        static_cast<double>(answered.load()) / storm_seconds;
+    result.ratio = result.serving_qps / result.baseline_qps;
+    result.epochs_published = telemetry.epochs_published;
+    result.mean_publish_interval_ms =
+        storm_seconds * 1e3 /
+        static_cast<double>(std::max<int64_t>(1, telemetry.epochs_published));
+    result.publish_p99_micros = telemetry.publish_p99_micros;
+    result.query_p50_micros = telemetry.query_p50_micros;
+    result.query_p99_micros = telemetry.query_p99_micros;
+    result.inconsistent = inconsistent.load();
+    result.rejected = rejected.load();
+
+    telemetry.Render("Serving telemetry (storm phase)").Print(std::cout);
+    const auto cache_stats = runtime.cache().Stats();
+    std::cout << "resolve cache: hit rate "
+              << TablePrinter::Num(cache_stats.hit_rate() * 100.0, 1)
+              << "% over "
+              << (cache_stats.hits + cache_stats.misses)
+              << " lookups, invalidations " << cache_stats.invalidations
+              << "\n";
+  }
+
+  TablePrinter table("Serving throughput while epochs roll (" +
+                     std::to_string(clients) + " storm clients)");
+  table.SetHeader({"Mode", "queries/s", "vs static"});
+  table.AddRow({"static BatchPredict baseline",
+                TablePrinter::Num(result.baseline_qps, 0), "1.00"});
+  table.AddRow({"ServingRuntime + epoch rolls",
+                TablePrinter::Num(result.serving_qps, 0),
+                TablePrinter::Num(result.ratio, 2)});
+  table.Print(std::cout);
+  std::cout << "epochs published: " << result.epochs_published
+            << " (mean interval "
+            << TablePrinter::Num(result.mean_publish_interval_ms, 1)
+            << " ms)\n";
+
+  const char* json_env = std::getenv("O4A_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_serving.json";
+  if (!json_path.empty()) WriteJson(json_path, result, clients);
+
+  const bool throughput_ok = result.ratio >= 0.5;
+  const bool cadence_ok = result.mean_publish_interval_ms <= 50.0;
+  const bool consistent_ok = result.inconsistent == 0;
+  PrintShapeCheck(
+      "serving throughput within 2x of the static-store baseline",
+      throughput_ok);
+  PrintShapeCheck("an epoch published at least every 50 ms", cadence_ok);
+  PrintShapeCheck("zero torn/inconsistent answers under the storm",
+                  consistent_ok);
+
+  const char* strict_env = std::getenv("O4A_BENCH_STRICT");
+  const bool strict = strict_env == nullptr || std::atoi(strict_env) != 0;
+  const bool ok = throughput_ok && cadence_ok && consistent_ok;
+  return (ok || !strict) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace one4all
+
+int main() {
+  std::cout << "=== Serving runtime: sustained throughput under epoch "
+               "rolls ===\n";
+  return one4all::bench::main_impl();
+}

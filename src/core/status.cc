@@ -16,6 +16,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

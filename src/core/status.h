@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kNotImplemented,
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a StatusCode.
@@ -61,6 +62,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

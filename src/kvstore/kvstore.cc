@@ -42,6 +42,41 @@ std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefix(
   return out;
 }
 
+size_t KvStore::CountPrefix(const std::string& prefix) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t count = 0;
+  for (auto it = table_.lower_bound(prefix); it != table_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> KvStore::KeysWithPrefix(
+    const std::string& prefix) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = table_.lower_bound(prefix); it != table_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+size_t KvStore::DeletePrefix(const std::string& prefix) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto first = table_.lower_bound(prefix);
+  auto last = first;
+  size_t count = 0;
+  while (last != table_.end() &&
+         last->first.compare(0, prefix.size(), prefix) == 0) {
+    ++last;
+    ++count;
+  }
+  table_.erase(first, last);
+  return count;
+}
+
 size_t KvStore::NumKeys() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return table_.size();

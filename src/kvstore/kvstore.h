@@ -34,6 +34,18 @@ class KvStore {
   std::vector<std::pair<std::string, std::string>> ScanPrefix(
       const std::string& prefix) const;
 
+  /// \brief Number of keys starting with `prefix` (no value copies).
+  size_t CountPrefix(const std::string& prefix) const;
+
+  /// \brief All keys starting with `prefix`, in order (no value copies).
+  std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+
+  /// \brief Removes every key starting with `prefix` under one exclusive
+  /// lock (a range erase — no per-key lock churn, no value copies; this
+  /// is what epoch reclamation runs on the serving path). Returns the
+  /// number of keys removed.
+  size_t DeletePrefix(const std::string& prefix);
+
   size_t NumKeys() const;
   /// \brief Sum of key and value byte lengths.
   int64_t ApproxBytes() const;

@@ -1,19 +1,38 @@
 #include "kvstore/prediction_store.h"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "core/logging.h"
 
 namespace one4all {
 
-std::string PredictionStore::FrameKey(int layer, int64_t t) {
+std::string PredictionStore::GenerationPrefix(int64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pred/%08lld/",
+                static_cast<long long>(generation));
+  return buf;
+}
+
+std::string PredictionStore::FrameKeyAt(int64_t generation, int layer,
+                                        int64_t t) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "pred/%02d/%012lld", layer,
+  std::snprintf(buf, sizeof(buf), "pred/%08lld/%02d/%012lld",
+                static_cast<long long>(generation), layer,
                 static_cast<long long>(t));
   return buf;
 }
 
+std::string PredictionStore::FrameKey(int layer, int64_t t) {
+  return FrameKeyAt(0, layer, t);
+}
+
 void PredictionStore::SyncFrame(int layer, int64_t t, const Tensor& frame) {
+  SyncFrameAt(0, layer, t, frame);
+}
+
+void PredictionStore::SyncFrameAt(int64_t generation, int layer, int64_t t,
+                                  const Tensor& frame) {
   O4A_CHECK_EQ(frame.ndim(), 2u);
   const int32_t h = static_cast<int32_t>(frame.dim(0));
   const int32_t w = static_cast<int32_t>(frame.dim(1));
@@ -23,11 +42,17 @@ void PredictionStore::SyncFrame(int layer, int64_t t, const Tensor& frame) {
   std::memcpy(blob.data() + 4, &w, 4);
   std::memcpy(blob.data() + 8, frame.data(),
               sizeof(float) * static_cast<size_t>(frame.numel()));
-  store_->Put(FrameKey(layer, t), std::move(blob));
+  store_->Put(FrameKeyAt(generation, layer, t), std::move(blob));
 }
 
 Result<Tensor> PredictionStore::GetFrame(int layer, int64_t t) const {
-  O4A_ASSIGN_OR_RETURN(std::string blob, store_->Get(FrameKey(layer, t)));
+  return GetFrameAt(0, layer, t);
+}
+
+Result<Tensor> PredictionStore::GetFrameAt(int64_t generation, int layer,
+                                           int64_t t) const {
+  O4A_ASSIGN_OR_RETURN(std::string blob,
+                       store_->Get(FrameKeyAt(generation, layer, t)));
   if (blob.size() < 8) {
     return Status::Internal("corrupt prediction frame blob");
   }
@@ -45,14 +70,75 @@ Result<Tensor> PredictionStore::GetFrame(int layer, int64_t t) const {
 
 float PredictionStore::GetValue(int layer, int64_t t, int64_t row,
                                 int64_t col) const {
-  auto frame = GetFrame(layer, t);
-  O4A_CHECK(frame.ok()) << "missing prediction frame layer=" << layer
-                        << " t=" << t;
-  return frame->at(row, col);
+  auto value = TryGetValue(layer, t, row, col);
+  O4A_CHECK(value.ok()) << "missing prediction frame layer=" << layer
+                        << " t=" << t << ": " << value.status().ToString();
+  return *value;
+}
+
+Result<float> PredictionStore::TryGetValue(int layer, int64_t t, int64_t row,
+                                           int64_t col) const {
+  return TryGetValueAt(0, layer, t, row, col);
+}
+
+Result<float> PredictionStore::TryGetValueAt(int64_t generation, int layer,
+                                             int64_t t, int64_t row,
+                                             int64_t col) const {
+  O4A_ASSIGN_OR_RETURN(Tensor frame, GetFrameAt(generation, layer, t));
+  if (row < 0 || row >= frame.dim(0) || col < 0 || col >= frame.dim(1)) {
+    return Status::OutOfRange("grid cell outside prediction frame");
+  }
+  return frame.at(row, col);
 }
 
 bool PredictionStore::HasFrame(int layer, int64_t t) const {
-  return store_->Contains(FrameKey(layer, t));
+  return HasFrameAt(0, layer, t);
+}
+
+bool PredictionStore::HasFrameAt(int64_t generation, int layer,
+                                 int64_t t) const {
+  return store_->Contains(FrameKeyAt(generation, layer, t));
+}
+
+int64_t PredictionStore::CopyGeneration(int64_t from, int64_t to,
+                                        int64_t min_t) {
+  O4A_CHECK(from != to);
+  const std::string from_prefix = GenerationPrefix(from);
+  const std::string to_prefix = GenerationPrefix(to);
+  int64_t copied = 0;
+  for (const auto& [key, blob] : store_->ScanPrefix(from_prefix)) {
+    if (min_t != INT64_MIN) {
+      // FrameKeyAt keys end in the zero-padded 12-digit timestep.
+      const int64_t t =
+          std::strtoll(key.c_str() + (key.size() - 12), nullptr, 10);
+      if (t < min_t) continue;
+    }
+    store_->Put(to_prefix + key.substr(from_prefix.size()), blob);
+    ++copied;
+  }
+  return copied;
+}
+
+int64_t PredictionStore::DropGeneration(int64_t generation) {
+  return static_cast<int64_t>(
+      store_->DeletePrefix(GenerationPrefix(generation)));
+}
+
+int64_t PredictionStore::DropFramesBelow(int64_t generation, int64_t min_t) {
+  int64_t dropped = 0;
+  for (const std::string& key :
+       store_->KeysWithPrefix(GenerationPrefix(generation))) {
+    // FrameKeyAt keys end in the zero-padded 12-digit timestep.
+    const int64_t t =
+        std::strtoll(key.c_str() + (key.size() - 12), nullptr, 10);
+    if (t < min_t && store_->Delete(key).ok()) ++dropped;
+  }
+  return dropped;
+}
+
+int64_t PredictionStore::NumFramesAt(int64_t generation) const {
+  return static_cast<int64_t>(
+      store_->CountPrefix(GenerationPrefix(generation)));
 }
 
 }  // namespace one4all

@@ -1,9 +1,18 @@
 // Online prediction storage: the deployed model continuously synchronizes
 // multi-scale prediction frames into the KV store (paper Sec. III "online
 // phase"); the query server reads single grid values back by key.
+//
+// Frames are keyed by (generation, layer, t). Generations are the MVCC
+// substrate of the serving runtime (src/serve/epoch_manager.h): a writer
+// stages the full frame set of the next epoch under an unpublished shadow
+// generation while readers keep serving from the published one, so no
+// reader ever observes a half-synced timestep. Generation 0 is the
+// "static" generation the offline harness (MauPipeline) writes to; every
+// pre-existing call site keeps working unchanged against it.
 #ifndef ONE4ALL_KVSTORE_PREDICTION_STORE_H_
 #define ONE4ALL_KVSTORE_PREDICTION_STORE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "kvstore/kvstore.h"
@@ -16,19 +25,60 @@ class PredictionStore {
  public:
   explicit PredictionStore(KvStore* store) : store_(store) {}
 
-  /// \brief Writes the prediction frame [Hl, Wl] of (layer, t).
+  /// \brief Writes the prediction frame [Hl, Wl] of (layer, t) into
+  /// generation 0.
   void SyncFrame(int layer, int64_t t, const Tensor& frame);
 
-  /// \brief Reads a full frame back.
+  /// \brief Writes a frame into an explicit generation. Serving writers
+  /// stage whole epochs this way before publishing them atomically.
+  void SyncFrameAt(int64_t generation, int layer, int64_t t,
+                   const Tensor& frame);
+
+  /// \brief Reads a full frame back from generation 0.
   Result<Tensor> GetFrame(int layer, int64_t t) const;
+  Result<Tensor> GetFrameAt(int64_t generation, int layer, int64_t t) const;
 
   /// \brief Point read of one grid's predicted value. Dies if the frame
-  /// was never synced (programming error in the serving pipeline).
+  /// was never synced — only for offline harness code whose frames are
+  /// synced up front; the serving path uses TryGetValue.
   float GetValue(int layer, int64_t t, int64_t row, int64_t col) const;
 
-  bool HasFrame(int layer, int64_t t) const;
+  /// \brief Non-fatal point read: NotFound when the frame was never
+  /// synced (e.g. a query raced ahead of a late-arriving epoch),
+  /// OutOfRange when (row, col) falls outside the frame.
+  Result<float> TryGetValue(int layer, int64_t t, int64_t row,
+                            int64_t col) const;
+  Result<float> TryGetValueAt(int64_t generation, int layer, int64_t t,
+                              int64_t row, int64_t col) const;
 
+  bool HasFrame(int layer, int64_t t) const;
+  bool HasFrameAt(int64_t generation, int layer, int64_t t) const;
+
+  /// \brief Copies frames of `from` with t >= `min_t` into generation
+  /// `to` (raw blob copy, no decode). The epoch manager's carry-forward:
+  /// the shadow generation starts as a snapshot of the published one,
+  /// optionally truncated to a retention horizon so continuous runs keep
+  /// per-epoch copy cost bounded. Returns the number of frames copied.
+  int64_t CopyGeneration(int64_t from, int64_t to,
+                         int64_t min_t = INT64_MIN);
+
+  /// \brief Deletes every frame of a generation (epoch reclamation once
+  /// the last reader unpins it). Returns the number of frames dropped.
+  int64_t DropGeneration(int64_t generation);
+
+  /// \brief Deletes a generation's frames with t < `min_t` (retention
+  /// trim of a still-unpublished shadow generation). Returns the number
+  /// of frames dropped.
+  int64_t DropFramesBelow(int64_t generation, int64_t min_t);
+
+  /// \brief Number of frames stored under a generation.
+  int64_t NumFramesAt(int64_t generation) const;
+
+  /// \brief Key of (generation 0, layer, t).
   static std::string FrameKey(int layer, int64_t t);
+  static std::string FrameKeyAt(int64_t generation, int layer, int64_t t);
+  /// \brief Prefix covering every key of one generation.
+  static std::string GenerationPrefix(int64_t generation);
 
  private:
   KvStore* store_;

@@ -169,6 +169,21 @@ Tensor One4AllNet::PredictLayer(const STDataset& dataset,
   return dataset.DenormalizeLayer(normalized, StatsLayerFor(layer));
 }
 
+std::vector<Tensor> One4AllNet::InferServingFrames(
+    const TemporalInput& input, const STDataset& dataset) const {
+  O4A_CHECK_EQ(input.closeness.dim(0), 1);
+  const std::vector<Variable> preds = Forward(input);
+  std::vector<Tensor> frames;
+  frames.reserve(static_cast<size_t>(n_layers_));
+  for (int l = 1; l <= n_layers_; ++l) {
+    const size_t i = static_cast<size_t>(l - 1);
+    const Tensor denorm = dataset.DenormalizeLayer(preds[i].value(),
+                                                   StatsLayerFor(l));
+    frames.push_back(denorm.Reshape({layer_heights_[i], layer_widths_[i]}));
+  }
+  return frames;
+}
+
 std::vector<Tensor> One4AllNet::PredictAllLayers(
     const STDataset& dataset, const std::vector<int64_t>& timesteps) {
   const TemporalInput input = dataset.BuildInput(timesteps);

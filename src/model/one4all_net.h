@@ -55,6 +55,14 @@ class One4AllNet : public Module, public FlowPredictor {
       const std::vector<int64_t>& timesteps) override;
   int64_t NumParameters() const override { return Module::NumParameters(); }
 
+  /// \brief Serving inference entry point: de-normalized multi-scale
+  /// frames for ONE already-assembled input window (batch size 1, e.g.
+  /// from the stream ingestor's rolling window). Element l-1 is the
+  /// [Hl, Wl] frame ready for PredictionStore::SyncFrameAt; `dataset`
+  /// supplies the per-scale normalization stats (Eq. 11).
+  std::vector<Tensor> InferServingFrames(const TemporalInput& input,
+                                         const STDataset& dataset) const;
+
   const One4AllNetOptions& options() const { return options_; }
 
  private:

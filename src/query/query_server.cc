@@ -87,21 +87,34 @@ Result<ResolvedQuery> RegionQueryServer::Resolve(
 }
 
 double RegionQueryServer::EvaluateTerms(
-    const std::vector<CombinationTerm>& terms, int64_t t) const {
+    const std::vector<CombinationTerm>& terms, int64_t t,
+    int64_t generation) const {
+  auto value = TryEvaluateTerms(terms, t, generation);
+  O4A_CHECK(value.ok()) << value.status().ToString();
+  return *value;
+}
+
+Result<double> RegionQueryServer::TryEvaluateTerms(
+    const std::vector<CombinationTerm>& terms, int64_t t,
+    int64_t generation) const {
   double value = 0.0;
   for (const CombinationTerm& term : terms) {
-    value += static_cast<double>(term.sign) *
-             store_->GetValue(term.grid.layer, t, term.grid.row,
-                              term.grid.col);
+    O4A_ASSIGN_OR_RETURN(
+        const float predicted,
+        store_->TryGetValueAt(generation, term.grid.layer, t, term.grid.row,
+                              term.grid.col));
+    value += static_cast<double>(term.sign) * predicted;
   }
   return value;
 }
 
 Result<QueryResponse> RegionQueryServer::Predict(
-    const GridMask& region, int64_t t, QueryStrategy strategy) const {
+    const GridMask& region, int64_t t, QueryStrategy strategy,
+    int64_t generation) const {
   O4A_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(region, strategy));
   QueryResponse response;
-  response.value = EvaluateTerms(resolved.terms, t);
+  O4A_ASSIGN_OR_RETURN(response.value,
+                       TryEvaluateTerms(resolved.terms, t, generation));
   response.num_pieces = resolved.num_pieces;
   response.num_terms = static_cast<int>(resolved.terms.size());
   response.decompose_micros = resolved.decompose_micros;
@@ -138,7 +151,8 @@ namespace {
 /// (layer, t) instead of one per combination term.
 class FrameMemo {
  public:
-  explicit FrameMemo(const PredictionStore* store) : store_(store) {}
+  FrameMemo(const PredictionStore* store, int64_t generation)
+      : store_(store), generation_(generation) {}
 
   /// \brief Sums signed term predictions at `t` (same term order as
   /// RegionQueryServer::EvaluateTerms, so values match it exactly).
@@ -149,7 +163,8 @@ class FrameMemo {
       const auto key = std::make_pair(term.grid.layer, t);
       auto it = frames_.find(key);
       if (it == frames_.end()) {
-        Result<Tensor> frame = store_->GetFrame(term.grid.layer, t);
+        Result<Tensor> frame =
+            store_->GetFrameAt(generation_, term.grid.layer, t);
         O4A_RETURN_NOT_OK(frame.status());
         it = frames_.emplace(key, frame.MoveValueUnsafe()).first;
       }
@@ -162,6 +177,7 @@ class FrameMemo {
 
  private:
   const PredictionStore* store_;
+  int64_t generation_;
   std::map<std::pair<int, int64_t>, Tensor> frames_;
 };
 
@@ -218,7 +234,7 @@ std::vector<Result<QueryResponse>> RegionQueryServer::BatchPredict(
       queries.size(), Status::Internal("batch entry not evaluated"));
   RunSharded(options, static_cast<int64_t>(queries.size()),
              [&](int64_t begin, int64_t end) {
-               FrameMemo memo(store_);
+               FrameMemo memo(store_, options.generation);
                for (int64_t i = begin; i < end; ++i) {
                  const BatchQuery& query = queries[static_cast<size_t>(i)];
                  Stopwatch timer;

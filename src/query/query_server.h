@@ -67,6 +67,12 @@ struct BatchOptions {
   ThreadPool* pool = nullptr;
   /// Optional resolve cache shared across calls; must outlive the call.
   ResolvedQueryCache* cache = nullptr;
+  /// Prediction-store generation every frame read of the batch goes
+  /// through. The serving runtime pins an epoch (serve/epoch_manager.h)
+  /// for the duration of the batch and passes its generation here, so
+  /// the whole batch observes one consistent frame set. 0 is the static
+  /// generation the offline harness syncs into.
+  int64_t generation = 0;
 };
 
 /// \brief The online serving component.
@@ -87,13 +93,22 @@ class RegionQueryServer {
   Result<ResolvedQuery> Resolve(const GridMask& region,
                                 QueryStrategy strategy) const;
 
-  /// \brief Sums predicted values of resolved terms at time `t`.
-  double EvaluateTerms(const std::vector<CombinationTerm>& terms,
-                       int64_t t) const;
+  /// \brief Sums predicted values of resolved terms at time `t`, reading
+  /// frames of `generation`. Dies when a frame is missing — offline
+  /// harness convenience; the serving path uses TryEvaluateTerms.
+  double EvaluateTerms(const std::vector<CombinationTerm>& terms, int64_t t,
+                       int64_t generation = 0) const;
 
-  /// \brief Full query: resolve + evaluate at `t`.
+  /// \brief Non-fatal EvaluateTerms: a missing frame (e.g. a query racing
+  /// ahead of a late-arriving epoch) returns NotFound instead of aborting
+  /// the process.
+  Result<double> TryEvaluateTerms(const std::vector<CombinationTerm>& terms,
+                                  int64_t t, int64_t generation = 0) const;
+
+  /// \brief Full query: resolve + evaluate at `t` against `generation`.
   Result<QueryResponse> Predict(const GridMask& region, int64_t t,
-                                QueryStrategy strategy) const;
+                                QueryStrategy strategy,
+                                int64_t generation = 0) const;
 
   /// \brief Resolve with an optional cache: hits skip decomposition and
   /// index retrieval entirely. With `cache == nullptr` this is a plain

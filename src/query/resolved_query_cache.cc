@@ -88,6 +88,7 @@ ResolvedQueryCacheStats ResolvedQueryCache::Stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   stats.size = Size();
   return stats;
 }
@@ -107,6 +108,11 @@ void ResolvedQueryCache::Clear() {
     shard->lru.clear();
     shard->map.clear();
   }
+}
+
+void ResolvedQueryCache::Invalidate() {
+  Clear();
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace one4all

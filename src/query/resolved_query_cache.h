@@ -46,7 +46,16 @@ struct ResolvedQueryCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t evictions = 0;
+  int64_t invalidations = 0;  ///< full clears via Invalidate()
   size_t size = 0;
+
+  /// \brief Fraction of lookups served from the cache (0 before any).
+  double hit_rate() const {
+    const int64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
 };
 
 /// \brief Thread-safe LRU keyed by RegionFingerprint, sharded to keep
@@ -73,6 +82,13 @@ class ResolvedQueryCache {
   size_t capacity() const { return capacity_; }
   void Clear();
 
+  /// \brief Full clear for topology changes: resolutions depend only on
+  /// the hierarchy and quad-tree index, so the serving runtime calls this
+  /// when the index is swapped. Epoch rolls are time-only and must NOT
+  /// invalidate (resolution is time-independent). Counted in
+  /// Stats().invalidations.
+  void Invalidate();
+
  private:
   struct KeyHash {
     size_t operator()(const RegionFingerprint& k) const {
@@ -97,6 +113,7 @@ class ResolvedQueryCache {
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
 };
 
 }  // namespace one4all

@@ -1,0 +1,110 @@
+#include "serve/serving_runtime.h"
+
+#include <utility>
+
+#include "core/logging.h"
+
+namespace one4all {
+
+ServingRuntime::ServingRuntime(const Hierarchy* hierarchy,
+                               const ExtendedQuadTree* index,
+                               const STDataset* dataset,
+                               FrameInference inference,
+                               ServingRuntimeOptions options)
+    : hierarchy_(hierarchy),
+      dataset_(dataset),
+      options_(options),
+      store_(&kv_),
+      epochs_(&store_, &telemetry_,
+              FrameEpochManagerOptions{-1, options.retain_timesteps}),
+      cache_(options.cache) {
+  O4A_CHECK(hierarchy != nullptr);
+  O4A_CHECK(index != nullptr);
+  O4A_CHECK(dataset != nullptr);
+  O4A_CHECK_GT(options_.max_inflight_queries, 0);
+  server_ = std::make_unique<RegionQueryServer>(hierarchy, index, &store_);
+  ingestor_ = std::make_unique<StreamIngestor>(
+      dataset, std::move(inference), &epochs_, &telemetry_, options.ingest);
+}
+
+ServingRuntime::~ServingRuntime() { Stop(); }
+
+void ServingRuntime::Start() { ingestor_->Start(); }
+
+void ServingRuntime::Stop() { ingestor_->Stop(); }
+
+Result<std::vector<Result<QueryResponse>>> ServingRuntime::QueryBatch(
+    const std::vector<BatchQuery>& queries) {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  // Admission control: claim the batch's slots with a check-then-claim
+  // CAS loop — a rejected batch never touches the counter, so an
+  // oversized request cannot transiently inflate it and spuriously
+  // reject concurrent admissible batches. Refusing the whole batch
+  // beats buffering unboundedly under overload.
+  int64_t prior = inflight_.load(std::memory_order_relaxed);
+  do {
+    if (prior + n > options_.max_inflight_queries) {
+      telemetry_.queries_rejected.fetch_add(n, std::memory_order_relaxed);
+      telemetry_.batches_rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "serving overloaded: " + std::to_string(prior) +
+          " queries in flight, batch of " + std::to_string(n) +
+          " exceeds budget of " +
+          std::to_string(options_.max_inflight_queries));
+    }
+  } while (!inflight_.compare_exchange_weak(prior, prior + n,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed));
+  telemetry_.batches_admitted.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<Result<QueryResponse>> results;
+  {
+    // Pin one epoch for the whole batch: every frame read below goes
+    // through its generation, so the batch can never mix a half-
+    // published timestep into its answers.
+    EpochGuard epoch = epochs_.Pin();
+    BatchOptions batch_options;
+    batch_options.num_threads = options_.num_query_threads;
+    batch_options.cache = &cache_;
+    batch_options.generation = epoch.generation();
+    std::shared_lock<std::shared_mutex> server_lock(server_mu_);
+    results = server_->BatchPredict(queries, options_.strategy,
+                                    batch_options);
+  }
+  inflight_.fetch_sub(n, std::memory_order_acq_rel);
+
+  int64_t served = 0, failed = 0;
+  for (const auto& result : results) {
+    if (result.ok()) {
+      ++served;
+      telemetry_.query_latency.Record(result.ValueOrDie().response_micros);
+    } else {
+      ++failed;
+    }
+  }
+  telemetry_.queries_served.fetch_add(served, std::memory_order_relaxed);
+  telemetry_.queries_failed.fetch_add(failed, std::memory_order_relaxed);
+  return results;
+}
+
+Result<QueryResponse> ServingRuntime::Query(const GridMask& region,
+                                            int64_t t) {
+  O4A_ASSIGN_OR_RETURN(std::vector<Result<QueryResponse>> results,
+                       QueryBatch({BatchQuery{region, t}}));
+  return results[0];
+}
+
+void ServingRuntime::SwapIndex(const ExtendedQuadTree* index) {
+  O4A_CHECK(index != nullptr);
+  {
+    std::unique_lock<std::shared_mutex> server_lock(server_mu_);
+    server_ = std::make_unique<RegionQueryServer>(hierarchy_, index,
+                                                  &store_);
+  }
+  // Resolutions embed index lookups, so a topology swap is the one event
+  // that clears the resolve cache (epoch rolls must not — resolution is
+  // time-independent).
+  cache_.Invalidate();
+}
+
+}  // namespace one4all

@@ -1,0 +1,113 @@
+// The online serving runtime façade (paper Sec. III, grown into a real
+// continuously-running service): composes the stream ingestor, the
+// epoch-versioned prediction store and the region query server behind
+// one object. Query batches are admission-controlled (bounded in-flight
+// budget, reject-with-Status on overload), pin one epoch for their whole
+// duration (never observing torn half-synced timesteps), share a
+// resolve cache that survives epoch rolls (resolution is
+// time-independent), and feed a telemetry block of atomic counters and
+// latency histograms.
+#ifndef ONE4ALL_SERVE_SERVING_RUNTIME_H_
+#define ONE4ALL_SERVE_SERVING_RUNTIME_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "query/query_server.h"
+#include "query/resolved_query_cache.h"
+#include "serve/epoch_manager.h"
+#include "serve/stream_ingestor.h"
+
+namespace one4all {
+
+struct ServingRuntimeOptions {
+  QueryStrategy strategy = QueryStrategy::kUnionSubtraction;
+  /// Admission control: a batch is rejected outright (ResourceExhausted)
+  /// when admitting it would push the in-flight query count past this.
+  int64_t max_inflight_queries = 4096;
+  /// Worker threads per batch (BatchOptions semantics: 0 = shared pool,
+  /// 1 = caller's thread, > 1 = per-call pool).
+  int num_query_threads = 0;
+  /// Carry-forward retention horizon in timesteps; see
+  /// FrameEpochManagerOptions::retain_timesteps. The default 0 keeps
+  /// the whole served window queryable — right for bounded replays
+  /// (tests, benches, demos), but per-epoch publish cost and store size
+  /// then grow with uptime; continuous deployments should set a horizon
+  /// sized to the timesteps their traffic actually queries.
+  int64_t retain_timesteps = 0;
+  ResolvedQueryCacheOptions cache;
+  StreamIngestorOptions ingest;
+};
+
+/// \brief One4All-ST online serving: streaming ingestion + epoch-
+/// versioned frames + concurrent batched region queries.
+class ServingRuntime {
+ public:
+  /// \param hierarchy,index,dataset Must outlive the runtime. `index` is
+  /// the offline-built extended quad-tree (e.g. MauPipeline::index()).
+  ServingRuntime(const Hierarchy* hierarchy, const ExtendedQuadTree* index,
+                 const STDataset* dataset, FrameInference inference,
+                 ServingRuntimeOptions options);
+  ~ServingRuntime();
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// \brief Starts the background ingestion loop.
+  void Start();
+  /// \brief Stops ingestion (joins the background thread).
+  void Stop();
+
+  /// \brief Answers a batch of (region, t) queries against one pinned
+  /// epoch. The whole batch is rejected with ResourceExhausted when it
+  /// would exceed the in-flight budget; per-query failures (e.g. a
+  /// timestep no published epoch covers yet) surface as that entry's
+  /// Status without aborting anything.
+  Result<std::vector<Result<QueryResponse>>> QueryBatch(
+      const std::vector<BatchQuery>& queries);
+
+  /// \brief Single-query convenience over the same admission/pin path.
+  Result<QueryResponse> Query(const GridMask& region, int64_t t);
+
+  /// \brief Pins the current epoch (tests, multi-batch consistency).
+  EpochGuard PinEpoch() { return epochs_.Pin(); }
+
+  /// \brief Swaps the quad-tree index (topology change, e.g. after a
+  /// re-search). Resolutions depend on the index, so this invalidates
+  /// the resolve cache — the only event that does; epoch rolls never do.
+  void SwapIndex(const ExtendedQuadTree* index);
+
+  ServingTelemetrySnapshot Telemetry() const {
+    return telemetry_.Snapshot();
+  }
+  ServingTelemetry& telemetry() { return telemetry_; }
+  ResolvedQueryCache& cache() { return cache_; }
+  FrameEpochManager& epochs() { return epochs_; }
+  StreamIngestor& ingestor() { return *ingestor_; }
+  const ServingRuntimeOptions& options() const { return options_; }
+
+ private:
+  const Hierarchy* hierarchy_;
+  const STDataset* dataset_;
+  ServingRuntimeOptions options_;
+
+  ServingTelemetry telemetry_;
+  KvStore kv_;
+  PredictionStore store_;
+  FrameEpochManager epochs_;
+  ResolvedQueryCache cache_;
+
+  // The server is swapped whole on SwapIndex; queries hold the shared
+  // side for the duration of a batch.
+  mutable std::shared_mutex server_mu_;
+  std::unique_ptr<RegionQueryServer> server_;
+
+  std::unique_ptr<StreamIngestor> ingestor_;
+  std::atomic<int64_t> inflight_{0};
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_SERVE_SERVING_RUNTIME_H_

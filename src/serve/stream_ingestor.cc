@@ -1,0 +1,252 @@
+#include "serve/stream_ingestor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/stopwatch.h"
+#include "model/one4all_net.h"
+#include "tensor/gemm.h"
+
+namespace one4all {
+
+FrameInference MakeOne4AllInference(const One4AllNet* net,
+                                    const STDataset* dataset) {
+  O4A_CHECK(net != nullptr);
+  O4A_CHECK(dataset != nullptr);
+  return [net, dataset](int64_t t,
+                        const TemporalInput& input) -> Result<std::vector<Tensor>> {
+    (void)t;
+    return net->InferServingFrames(input, *dataset);
+  };
+}
+
+FrameInference MakeGroundTruthInference(const STDataset* dataset) {
+  O4A_CHECK(dataset != nullptr);
+  return [dataset](int64_t t,
+                   const TemporalInput& input) -> Result<std::vector<Tensor>> {
+    (void)input;
+    if (t < 0 || t >= dataset->num_timesteps()) {
+      return Status::OutOfRange("timestep outside the replayed dataset");
+    }
+    std::vector<Tensor> frames;
+    const int n_layers = dataset->hierarchy().num_layers();
+    frames.reserve(static_cast<size_t>(n_layers));
+    for (int l = 1; l <= n_layers; ++l) {
+      frames.push_back(dataset->FrameAtLayer(t, l));
+    }
+    return frames;
+  };
+}
+
+// -- RollingWindow ----------------------------------------------------------
+
+RollingWindow::RollingWindow(const TemporalFeatureSpec& spec,
+                             ScaleStats atomic_stats)
+    : spec_(spec), stats_(atomic_stats) {
+  // Same offset order as STDataset::BuildInput (Eq. 6), so a net trained
+  // on dataset-built inputs sees identical channel layout when served
+  // from the rolling window.
+  for (int64_t i = spec_.closeness_len; i >= 1; --i) {
+    closeness_offsets_.push_back(i);
+  }
+  for (int64_t i = spec_.period_len; i >= 1; --i) {
+    period_offsets_.push_back(i * spec_.daily_interval);
+  }
+  for (int64_t i = spec_.trend_len; i >= 1; --i) {
+    trend_offsets_.push_back(i * spec_.weekly_interval);
+  }
+}
+
+void RollingWindow::Push(int64_t t, Tensor frame) {
+  O4A_CHECK_EQ(frame.ndim(), 2u);
+  frames_[t] = std::move(frame);
+  // Keep exactly the horizon future timesteps can still reference.
+  const int64_t horizon = spec_.MinHistory();
+  frames_.erase(frames_.begin(), frames_.lower_bound(t - horizon));
+}
+
+bool RollingWindow::Ready(int64_t t) const {
+  const auto has_all = [&](const std::vector<int64_t>& offsets) {
+    for (const int64_t offset : offsets) {
+      if (frames_.find(t - offset) == frames_.end()) return false;
+    }
+    return true;
+  };
+  return has_all(closeness_offsets_) && has_all(period_offsets_) &&
+         has_all(trend_offsets_);
+}
+
+Result<Tensor> RollingWindow::Stack(const std::vector<int64_t>& offsets,
+                                    int64_t t) const {
+  const int64_t len = static_cast<int64_t>(offsets.size());
+  auto first = frames_.begin();
+  if (first == frames_.end()) {
+    return Status::FailedPrecondition("rolling window is empty");
+  }
+  const int64_t h = first->second.dim(0), w = first->second.dim(1);
+  const float inv_std = 1.0f / stats_.stddev;
+  Tensor out({1, len, h, w});
+  for (int64_t k = 0; k < len; ++k) {
+    const auto it = frames_.find(t - offsets[static_cast<size_t>(k)]);
+    if (it == frames_.end()) {
+      return Status::FailedPrecondition(
+          "rolling window missing history for timestep " +
+          std::to_string(t - offsets[static_cast<size_t>(k)]));
+    }
+    const float* src = it->second.data();
+    float* dst = out.data() + k * h * w;
+    for (int64_t i = 0; i < h * w; ++i) {
+      dst[i] = (src[i] - stats_.mean) * inv_std;
+    }
+  }
+  return out;
+}
+
+Result<TemporalInput> RollingWindow::AssembleInput(int64_t t) const {
+  TemporalInput input;
+  O4A_ASSIGN_OR_RETURN(input.closeness, Stack(closeness_offsets_, t));
+  O4A_ASSIGN_OR_RETURN(input.period, Stack(period_offsets_, t));
+  O4A_ASSIGN_OR_RETURN(input.trend, Stack(trend_offsets_, t));
+  return input;
+}
+
+// -- StreamIngestor ---------------------------------------------------------
+
+StreamIngestor::StreamIngestor(const STDataset* dataset,
+                               FrameInference inference,
+                               FrameEpochManager* epochs,
+                               ServingTelemetry* telemetry,
+                               StreamIngestorOptions options)
+    : dataset_(dataset),
+      inference_(std::move(inference)),
+      epochs_(epochs),
+      telemetry_(telemetry),
+      options_(options) {
+  O4A_CHECK(dataset != nullptr);
+  O4A_CHECK(epochs != nullptr);
+  O4A_CHECK(inference_ != nullptr);
+  O4A_CHECK_GE(options_.start_t, dataset->spec().MinHistory());
+  O4A_CHECK_LE(options_.start_t + options_.num_timesteps,
+               dataset->num_timesteps());
+}
+
+StreamIngestor::~StreamIngestor() { Stop(); }
+
+void StreamIngestor::Start() {
+  O4A_CHECK(!thread_.joinable()) << "ingestor already started";
+  {
+    // Reset progress so a restart after Stop() does not report the
+    // previous run's completion to done()/WaitUntil*() consumers.
+    std::lock_guard<std::mutex> lock(mu_);
+    published_latest_t_ = -1;
+    steps_published_ = 0;
+    done_ = false;
+    status_ = Status::OK();
+  }
+  stop_requested_.store(false);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void StreamIngestor::Stop() {
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+bool StreamIngestor::WaitUntilPublished(int64_t t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  progress_cv_.wait(lock, [&] {
+    return published_latest_t_ >= t || done_;
+  });
+  return published_latest_t_ >= t;
+}
+
+void StreamIngestor::WaitUntilDone() {
+  std::unique_lock<std::mutex> lock(mu_);
+  progress_cv_.wait(lock, [&] { return done_; });
+}
+
+bool StreamIngestor::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+int64_t StreamIngestor::steps_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steps_published_;
+}
+
+Status StreamIngestor::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void StreamIngestor::Run() {
+  // Inference kernels fan out over the shared compute pool, same as the
+  // trainer and the offline ingest (sequential if this were ever run on
+  // a pool worker).
+  ScopedComputePool scoped_pool(ResolveComputePool());
+
+  RollingWindow window(dataset_->spec(), dataset_->StatsOfLayer(1));
+  // Prime with the history the first served timestep needs.
+  for (int64_t t = options_.start_t - dataset_->spec().MinHistory();
+       t < options_.start_t; ++t) {
+    window.Push(t, dataset_->FrameAtLayer(t, 1));
+  }
+
+  auto next_publish = std::chrono::steady_clock::now();
+  for (int64_t step = 0; step < options_.num_timesteps; ++step) {
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+    const int64_t t = options_.start_t + step;
+
+    // One observation arrives...
+    window.Push(t, dataset_->FrameAtLayer(t, 1));
+    auto input = window.AssembleInput(t);
+    if (!input.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      status_ = input.status();
+      break;
+    }
+    // ...the model turns it into the next multi-scale frame set...
+    auto frames = inference_(t, *input);
+    if (!frames.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      status_ = frames.status();
+      break;
+    }
+
+    // ...which becomes one atomically-published epoch.
+    Stopwatch publish_timer;
+    FrameEpochManager::Staging staging =
+        epochs_->BeginEpoch(options_.carry_forward);
+    for (size_t i = 0; i < frames->size(); ++i) {
+      staging.StageFrame(static_cast<int>(i) + 1, t,
+                         (*frames)[i]);
+    }
+    epochs_->Publish(std::move(staging));
+    if (telemetry_ != nullptr) {
+      telemetry_->publish_latency.Record(publish_timer.ElapsedMicros());
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      published_latest_t_ = t;
+      ++steps_published_;
+    }
+    progress_cv_.notify_all();
+
+    if (options_.min_publish_interval_ms > 0) {
+      next_publish +=
+          std::chrono::milliseconds(options_.min_publish_interval_ms);
+      std::this_thread::sleep_until(next_publish);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+  }
+  progress_cv_.notify_all();
+}
+
+}  // namespace one4all

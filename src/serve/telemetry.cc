@@ -1,0 +1,114 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace one4all {
+
+namespace {
+// Geometric bucket layout: bucket b covers (kBase*kFactor^b, next].
+constexpr double kBaseMicros = 0.5;
+constexpr double kFactor = 1.19;
+const double kInvLogFactor = 1.0 / std::log(kFactor);
+}  // namespace
+
+int LatencyHistogram::BucketFor(double micros) {
+  if (!(micros > kBaseMicros)) return 0;
+  const int bucket =
+      static_cast<int>(std::log(micros / kBaseMicros) * kInvLogFactor) + 1;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketUpperMicros(int bucket) {
+  return kBaseMicros * std::pow(kFactor, bucket);
+}
+
+void LatencyHistogram::Record(double micros) {
+  micros = std::max(micros, 0.0);
+  buckets_[static_cast<size_t>(BucketFor(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<int64_t>(micros * 1e3),
+                         std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileMicros(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  std::array<int64_t, kNumBuckets> snapshot;
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    snapshot[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    total += snapshot[static_cast<size_t>(b)];
+  }
+  if (total == 0) return 0.0;
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += snapshot[static_cast<size_t>(b)];
+    if (seen >= rank) return BucketUpperMicros(b);
+  }
+  return BucketUpperMicros(kNumBuckets - 1);
+}
+
+double LatencyHistogram::total_micros() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         1e3;
+}
+
+double LatencyHistogram::MeanMicros() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : total_micros() / static_cast<double>(n);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+ServingTelemetrySnapshot ServingTelemetry::Snapshot() const {
+  ServingTelemetrySnapshot snap;
+  snap.queries_served = queries_served.load(std::memory_order_relaxed);
+  snap.queries_failed = queries_failed.load(std::memory_order_relaxed);
+  snap.queries_rejected = queries_rejected.load(std::memory_order_relaxed);
+  snap.batches_admitted = batches_admitted.load(std::memory_order_relaxed);
+  snap.batches_rejected = batches_rejected.load(std::memory_order_relaxed);
+  snap.epochs_published = epochs_published.load(std::memory_order_relaxed);
+  snap.epochs_reclaimed = epochs_reclaimed.load(std::memory_order_relaxed);
+  snap.frames_staged = frames_staged.load(std::memory_order_relaxed);
+  snap.query_p50_micros = query_latency.PercentileMicros(0.50);
+  snap.query_p99_micros = query_latency.PercentileMicros(0.99);
+  snap.query_mean_micros = query_latency.MeanMicros();
+  snap.publish_p50_micros = publish_latency.PercentileMicros(0.50);
+  snap.publish_p99_micros = publish_latency.PercentileMicros(0.99);
+  return snap;
+}
+
+TablePrinter ServingTelemetrySnapshot::Render(
+    const std::string& title) const {
+  TablePrinter table(title);
+  table.SetHeader({"Counter", "Value"});
+  table.AddRow({"queries served", std::to_string(queries_served)});
+  table.AddRow({"queries failed", std::to_string(queries_failed)});
+  table.AddRow({"queries rejected (admission)",
+                std::to_string(queries_rejected)});
+  table.AddRow({"batches admitted", std::to_string(batches_admitted)});
+  table.AddRow({"batches rejected", std::to_string(batches_rejected)});
+  table.AddRow({"epochs published", std::to_string(epochs_published)});
+  table.AddRow({"epochs reclaimed", std::to_string(epochs_reclaimed)});
+  table.AddRow({"frames staged", std::to_string(frames_staged)});
+  table.AddSeparator();
+  table.AddRow({"query p50 (us)", TablePrinter::Num(query_p50_micros, 1)});
+  table.AddRow({"query p99 (us)", TablePrinter::Num(query_p99_micros, 1)});
+  table.AddRow({"query mean (us)",
+                TablePrinter::Num(query_mean_micros, 1)});
+  table.AddRow({"publish p50 (us)",
+                TablePrinter::Num(publish_p50_micros, 1)});
+  table.AddRow({"publish p99 (us)",
+                TablePrinter::Num(publish_p99_micros, 1)});
+  return table;
+}
+
+}  // namespace one4all

@@ -1,0 +1,93 @@
+// Telemetry block of the online serving runtime: lock-free atomic
+// counters plus log-bucketed latency histograms, cheap enough to update
+// on every query under concurrent load, snapshot-readable at any time,
+// and printable via core/table_printer.
+#ifndef ONE4ALL_SERVE_TELEMETRY_H_
+#define ONE4ALL_SERVE_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/table_printer.h"
+
+namespace one4all {
+
+/// \brief Lock-free latency histogram over geometric microsecond buckets
+/// (factor ~1.19 per bucket, ~0.5 us .. ~70 s span). Percentiles are
+/// read from a snapshot of the bucket counters, so Record() stays a
+/// single relaxed atomic increment on the serving hot path.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 104;
+
+  void Record(double micros);
+
+  /// \brief Upper bound (micros) of the bucket holding quantile `q` in
+  /// [0, 1]; 0 when nothing was recorded.
+  double PercentileMicros(double q) const;
+
+  int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_micros() const;
+  double MeanMicros() const;
+
+  void Reset();
+
+ private:
+  static int BucketFor(double micros);
+  static double BucketUpperMicros(int bucket);
+
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  // Accumulated in integer nanoseconds so the total stays a lock-free
+  // fetch_add (no atomic<double> needed).
+  std::atomic<int64_t> total_nanos_{0};
+};
+
+/// \brief Point-in-time copy of every serving counter.
+struct ServingTelemetrySnapshot {
+  int64_t queries_served = 0;    ///< queries answered with an OK response
+  int64_t queries_failed = 0;    ///< admitted but answered with an error
+  int64_t queries_rejected = 0;  ///< refused by admission control
+  int64_t batches_admitted = 0;
+  int64_t batches_rejected = 0;
+  int64_t epochs_published = 0;
+  int64_t epochs_reclaimed = 0;
+  int64_t frames_staged = 0;
+  double query_p50_micros = 0.0;  ///< per-query response time (paper sense)
+  double query_p99_micros = 0.0;
+  double query_mean_micros = 0.0;
+  double publish_p50_micros = 0.0;  ///< stage+publish latency per epoch
+  double publish_p99_micros = 0.0;
+
+  /// \brief Two-column counter table for operators.
+  TablePrinter Render(const std::string& title = "Serving telemetry") const;
+};
+
+/// \brief Shared mutable telemetry: the runtime, ingestor and epoch
+/// manager all write into one of these. Every member is individually
+/// atomic; Snapshot() is a relaxed read of each (counters are
+/// monotonic, so a snapshot is always a sane, if not instantaneous,
+/// view).
+class ServingTelemetry {
+ public:
+  std::atomic<int64_t> queries_served{0};
+  std::atomic<int64_t> queries_failed{0};
+  std::atomic<int64_t> queries_rejected{0};
+  std::atomic<int64_t> batches_admitted{0};
+  std::atomic<int64_t> batches_rejected{0};
+  std::atomic<int64_t> epochs_published{0};
+  std::atomic<int64_t> epochs_reclaimed{0};
+  std::atomic<int64_t> frames_staged{0};
+  LatencyHistogram query_latency;    ///< per-query response micros
+  LatencyHistogram publish_latency;  ///< per-epoch stage+publish micros
+
+  ServingTelemetrySnapshot Snapshot() const;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_SERVE_TELEMETRY_H_

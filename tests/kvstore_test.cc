@@ -42,6 +42,22 @@ TEST(KvStoreTest, ScanPrefixOrdered) {
   EXPECT_EQ(scan[1].first, "pred/01/5");
 }
 
+TEST(KvStoreTest, CountAndDeletePrefix) {
+  KvStore store;
+  store.Put("a/1", "x");
+  store.Put("a/2", "y");
+  store.Put("ab/1", "z");
+  store.Put("b/1", "w");
+  EXPECT_EQ(store.CountPrefix("a/"), 2u);
+  EXPECT_EQ(store.CountPrefix("a"), 3u);
+  EXPECT_EQ(store.CountPrefix("c"), 0u);
+  EXPECT_EQ(store.DeletePrefix("a/"), 2u);
+  EXPECT_EQ(store.NumKeys(), 2u);
+  EXPECT_TRUE(store.Contains("ab/1"));
+  EXPECT_TRUE(store.Contains("b/1"));
+  EXPECT_EQ(store.DeletePrefix("c"), 0u);
+}
+
 TEST(KvStoreTest, ApproxBytesAndClear) {
   KvStore store;
   store.Put("ab", "cdef");
@@ -161,7 +177,7 @@ TEST(PredictionStoreTest, ConcurrentReadersAndHasFrameGuard) {
   writer.join();
   for (auto& th : readers) th.join();
   EXPECT_FALSE(failed.load());
-  EXPECT_EQ(kv.ScanPrefix("pred/03/").size(), 60u);
+  EXPECT_EQ(kv.ScanPrefix("pred/00000000/03/").size(), 60u);
 }
 
 TEST(PredictionStoreTest, KeysAreScannableByLayer) {
@@ -171,8 +187,58 @@ TEST(PredictionStoreTest, KeysAreScannableByLayer) {
     store.SyncFrame(1, t, Tensor({2, 2}));
     store.SyncFrame(2, t, Tensor({1, 1}));
   }
-  EXPECT_EQ(kv.ScanPrefix("pred/01/").size(), 5u);
-  EXPECT_EQ(kv.ScanPrefix("pred/02/").size(), 5u);
+  EXPECT_EQ(kv.ScanPrefix("pred/00000000/01/").size(), 5u);
+  EXPECT_EQ(kv.ScanPrefix("pred/00000000/02/").size(), 5u);
+}
+
+TEST(PredictionStoreTest, TryGetValueDegradesToStatus) {
+  KvStore kv;
+  PredictionStore store(&kv);
+  EXPECT_EQ(store.TryGetValue(1, 9, 0, 0).status().code(),
+            StatusCode::kNotFound);
+  store.SyncFrame(1, 9, Tensor::Full({2, 3}, 4.0f));
+  auto value = store.TryGetValue(1, 9, 1, 2);
+  ASSERT_TRUE(value.ok());
+  EXPECT_FLOAT_EQ(*value, 4.0f);
+  EXPECT_EQ(store.TryGetValue(1, 9, 2, 0).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(store.TryGetValue(1, 9, 0, -1).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PredictionStoreTest, GenerationsAreIsolated) {
+  // A frame staged under a shadow generation must be invisible to readers
+  // of the published generation, and vice versa — the invariant the epoch
+  // manager's atomic publication is built on.
+  KvStore kv;
+  PredictionStore store(&kv);
+  store.SyncFrameAt(1, 1, 0, Tensor::Full({2, 2}, 1.0f));
+  store.SyncFrameAt(2, 1, 0, Tensor::Full({2, 2}, 2.0f));
+  EXPECT_FALSE(store.HasFrame(1, 0));
+  EXPECT_TRUE(store.HasFrameAt(1, 1, 0));
+  EXPECT_TRUE(store.HasFrameAt(2, 1, 0));
+  EXPECT_FLOAT_EQ(*store.TryGetValueAt(1, 1, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(*store.TryGetValueAt(2, 1, 0, 0, 0), 2.0f);
+}
+
+TEST(PredictionStoreTest, CopyAndDropGeneration) {
+  KvStore kv;
+  PredictionStore store(&kv);
+  for (int64_t t = 0; t < 3; ++t) {
+    store.SyncFrameAt(5, 1, t, Tensor::Full({2, 2}, static_cast<float>(t)));
+    store.SyncFrameAt(5, 2, t, Tensor::Full({1, 1}, static_cast<float>(t)));
+  }
+  EXPECT_EQ(store.CopyGeneration(5, 6), 6);
+  EXPECT_EQ(store.NumFramesAt(6), 6);
+  EXPECT_FLOAT_EQ(*store.TryGetValueAt(6, 1, 2, 0, 1), 2.0f);
+  // Overwriting the copy must not leak back into the source generation.
+  store.SyncFrameAt(6, 1, 2, Tensor::Full({2, 2}, 99.0f));
+  EXPECT_FLOAT_EQ(*store.TryGetValueAt(5, 1, 2, 0, 1), 2.0f);
+  EXPECT_EQ(store.DropGeneration(5), 6);
+  EXPECT_EQ(store.NumFramesAt(5), 0);
+  EXPECT_EQ(store.NumFramesAt(6), 6);
+  EXPECT_EQ(store.TryGetValueAt(5, 1, 0, 0, 0).status().code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -7,22 +7,35 @@
 //                        --rect 4,4,12,12 [--t <slot>] [--strategy usub]
 //   one4all_cli eval     --flows flows.bin --model model.bin --task 2
 //   one4all_cli search-structure --flows flows.bin --budget 50000
+//   one4all_cli serve    --flows flows.bin [--model model.bin]
+//                        [--steps 24] [--clients 2] [--batch 64]
+//                        [--publish-ms 20] [--retain 0] [--strategy usub]
+//
+// `serve` runs the online loop end-to-end: a background ingestor replays
+// N timesteps (model inference when --model is given, ground-truth
+// aggregation otherwise), publishing each as an atomic epoch, while
+// client threads fire a region-query storm at the runtime; finishes by
+// printing the serving telemetry block.
 //
 // The model file stores the network weights; a sidecar "<model>.meta"
 // records the hierarchy/window configuration so `query`/`eval` can
 // reconstruct the network before loading weights.
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "data/flow_io.h"
 #include "eval/task_eval.h"
+#include "model/baselines_simple.h"
 #include "model/hierarchy_search.h"
 #include "model/one4all_net.h"
 #include "model/trainer.h"
+#include "serve/serving_runtime.h"
 
 using namespace one4all;
 
@@ -317,10 +330,135 @@ int CmdSearchStructure(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  auto flows = LoadFlows(flags.Get("flows", "flows.bin"));
+  if (!flows.ok()) {
+    std::cerr << flows.status().ToString() << "\n";
+    return 1;
+  }
+
+  // With --model, geometry comes from the sidecar meta and inference runs
+  // the trained net; without, ground-truth aggregation serves as the
+  // model-independent oracle (useful to exercise the runtime alone).
+  ModelMeta meta;
+  meta.grid = flows->frames[0].dim(0);
+  meta.window = flags.GetInt("window", 2);
+  meta.max_scale = flags.GetInt("max-scale", 32);
+  std::unique_ptr<One4AllNet> net;
+  if (flags.Has("model")) {
+    const std::string model_path = flags.Get("model", "model.bin");
+    auto loaded_meta = LoadMeta(model_path + ".meta");
+    if (!loaded_meta.ok()) {
+      std::cerr << loaded_meta.status().ToString() << "\n";
+      return 1;
+    }
+    meta = *loaded_meta;
+    if (flows->frames[0].dim(0) != meta.grid) {
+      std::cerr << "flow grid does not match model meta\n";
+      return 1;
+    }
+  }
+  Hierarchy hierarchy =
+      Hierarchy::Uniform(meta.grid, meta.grid, meta.window, meta.max_scale);
+  auto dataset = STDataset::Create(flows.MoveValueUnsafe(), hierarchy,
+                                   TemporalFeatureSpec{});
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return 1;
+  }
+  if (flags.Has("model")) {
+    auto loaded = LoadModel(flags.Get("model", "model.bin"), *dataset, meta);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    net = loaded.MoveValueUnsafe();
+  }
+
+  // Offline phase: combination search + quad-tree index.
+  HistoryMeanPredictor hm;
+  FlowPredictor* predictor =
+      net != nullptr ? static_cast<FlowPredictor*>(net.get()) : &hm;
+  auto pipeline = MauPipeline::Build(predictor, *dataset, SearchOptions{});
+  std::cout << "offline index ready (" << predictor->Name() << ", "
+            << dataset->hierarchy().num_layers() << " layers)\n";
+
+  ServingRuntimeOptions options;
+  const auto& slots = dataset->test_indices();
+  options.ingest.start_t = slots.front();
+  options.ingest.num_timesteps =
+      std::min<int64_t>(flags.GetInt("steps", 24),
+                        static_cast<int64_t>(slots.size()));
+  options.ingest.min_publish_interval_ms = flags.GetInt("publish-ms", 20);
+  options.retain_timesteps = flags.GetInt("retain", 0);
+  options.num_query_threads = 1;
+  const std::string strategy_name = flags.Get("strategy", "usub");
+  options.strategy =
+      strategy_name == "direct" ? QueryStrategy::kDirect
+      : strategy_name == "union" ? QueryStrategy::kUnion
+                                 : QueryStrategy::kUnionSubtraction;
+  FrameInference inference =
+      net != nullptr ? MakeOne4AllInference(net.get(), dataset.operator->())
+                     : MakeGroundTruthInference(dataset.operator->());
+  ServingRuntime runtime(&dataset->hierarchy(), &pipeline->index(),
+                         dataset.operator->(), std::move(inference),
+                         options);
+
+  // Synthetic query storm against the rolling runtime.
+  RegionGeneratorOptions region_options;
+  region_options.style = RegionStyle::kVoronoi;
+  region_options.mean_cells = 12.0;
+  const auto regions = GenerateRegions(meta.grid, meta.grid, region_options);
+  const int clients = static_cast<int>(flags.GetInt("clients", 2));
+  const int batch_size = static_cast<int>(flags.GetInt("batch", 64));
+
+  runtime.Start();
+  runtime.ingestor().WaitUntilPublished(options.ingest.start_t);
+  std::vector<std::thread> storm;
+  for (int c = 0; c < clients; ++c) {
+    storm.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(7 + c));
+      while (!runtime.ingestor().done()) {
+        const int64_t latest = runtime.epochs().published_latest_t();
+        const int64_t span = latest - options.ingest.start_t + 1;
+        std::vector<BatchQuery> batch;
+        for (int i = 0; i < batch_size; ++i) {
+          batch.push_back(BatchQuery{
+              regions[static_cast<size_t>(rng.UniformInt(regions.size()))],
+              options.ingest.start_t +
+                  static_cast<int64_t>(
+                      rng.UniformInt(static_cast<uint64_t>(span)))});
+        }
+        // Admission rejects and per-query failures are counted by the
+        // runtime's telemetry, rendered below.
+        (void)runtime.QueryBatch(batch);
+      }
+    });
+  }
+  for (auto& client : storm) client.join();
+  runtime.Stop();
+  if (!runtime.ingestor().status().ok()) {
+    std::cerr << runtime.ingestor().status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "served " << options.ingest.num_timesteps
+            << " timesteps under a " << clients << "-client storm ("
+            << regions.size() << " distinct regions, batches of "
+            << batch_size << ")\n";
+  runtime.Telemetry().Render().Print(std::cout);
+  const auto cache_stats = runtime.cache().Stats();
+  std::cout << "resolve cache: hit rate "
+            << TablePrinter::Num(cache_stats.hit_rate() * 100.0, 1)
+            << "% over " << (cache_stats.hits + cache_stats.misses)
+            << " lookups\n";
+  return 0;
+}
+
 int Usage() {
   std::cerr << "usage: one4all_cli <generate|train|query|eval|"
-               "search-structure> [--flags]\n(see the header comment of "
-               "tools/one4all_cli.cc for examples)\n";
+               "search-structure|serve> [--flags]\n(see the header comment "
+               "of tools/one4all_cli.cc for examples)\n";
   return 2;
 }
 
@@ -335,5 +473,6 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "search-structure") return CmdSearchStructure(flags);
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
