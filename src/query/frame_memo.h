@@ -1,0 +1,82 @@
+// Internal execution helpers shared by the legacy batch surface and the
+// QueryExecutor: the per-worker prediction-frame memo and the sharded
+// parallel-for policy. Kept in one place so the composable query path
+// evaluates terms with byte-identical arithmetic to the original
+// BatchPredict (same frame reads, same accumulation order).
+#ifndef ONE4ALL_QUERY_FRAME_MEMO_H_
+#define ONE4ALL_QUERY_FRAME_MEMO_H_
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "core/thread_pool.h"
+#include "kvstore/prediction_store.h"
+#include "query/query_server.h"
+#include "tensor/gemm.h"
+
+namespace one4all {
+namespace query_internal {
+
+/// \brief Per-worker memo of prediction frames: one GetFrame per
+/// (layer, t) instead of one per combination term.
+class FrameMemo {
+ public:
+  FrameMemo(const PredictionStore* store, int64_t generation)
+      : store_(store), generation_(generation) {}
+
+  /// \brief Sums signed term predictions at `t` (same term order as
+  /// RegionQueryServer::EvaluateTerms, so values match it exactly).
+  Status Evaluate(const std::vector<CombinationTerm>& terms, int64_t t,
+                  double* value) {
+    double acc = 0.0;
+    for (const CombinationTerm& term : terms) {
+      const auto key = std::make_pair(term.grid.layer, t);
+      auto it = frames_.find(key);
+      if (it == frames_.end()) {
+        Result<Tensor> frame =
+            store_->GetFrameAt(generation_, term.grid.layer, t);
+        O4A_RETURN_NOT_OK(frame.status());
+        it = frames_.emplace(key, frame.MoveValueUnsafe()).first;
+      }
+      acc += static_cast<double>(term.sign) *
+             it->second.at(term.grid.row, term.grid.col);
+    }
+    *value = acc;
+    return Status::OK();
+  }
+
+ private:
+  const PredictionStore* store_;
+  int64_t generation_;
+  std::map<std::pair<int, int64_t>, Tensor> frames_;
+};
+
+/// \brief Runs `body(begin, end)` over [0, n) with the requested
+/// parallelism; `pool` wins over `num_threads` (BatchOptions semantics:
+/// 0 = ambient/shared pool, 1 = caller's thread, > 1 = per-call pool).
+inline void RunSharded(ThreadPool* pool, int num_threads, int64_t n,
+                       const std::function<void(int64_t, int64_t)>& body) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, body);
+  } else if (num_threads == 0) {
+    // Resolve through the central policy: Shared() by default, sequential
+    // when issued from a pool worker (waiting on a pool from one of its
+    // own workers would deadlock).
+    if (ThreadPool* ambient = ResolveComputePool()) {
+      ambient->ParallelFor(n, body);
+    } else {
+      body(0, n);
+    }
+  } else if (num_threads > 1) {
+    ThreadPool local(num_threads);
+    local.ParallelFor(n, body);
+  } else {
+    body(0, n);
+  }
+}
+
+}  // namespace query_internal
+}  // namespace one4all
+
+#endif  // ONE4ALL_QUERY_FRAME_MEMO_H_

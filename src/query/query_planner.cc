@@ -1,0 +1,112 @@
+#include "query/query_planner.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "core/stopwatch.h"
+#include "query/resolved_query_cache.h"
+
+namespace one4all {
+
+std::string QueryPlan::Describe() const {
+  std::ostringstream out;
+  if (spec.kind == QuerySpecKind::kPointBatch) {
+    // Batch plans borrow their regions instead of owning them in the
+    // spec, so render from the plan's own shape.
+    out << "plan: PointBatch over " << rows.size()
+        << (rows.size() == 1 ? " row" : " rows")
+        << " @ per-row timesteps strategy="
+        << QueryStrategyName(spec.strategy) << "\n";
+  } else {
+    out << "plan: " << spec.ToString() << "\n";
+  }
+  out << "  1. cache-probe/resolve: " << slot_regions.size()
+      << (slot_regions.size() == 1 ? " distinct region"
+                                   : " distinct regions")
+      << " (decompose + index retrieval on miss)\n";
+  out << "  2. gather: " << rows.size()
+      << (rows.size() == 1 ? " row" : " rows") << ", "
+      << num_point_queries()
+      << " epoch-pinned frame gathers (per-chunk frame memo)\n";
+  if (spec.kind == QuerySpecKind::kTopK) {
+    out << "  3. aggregate+rank: " << TimeAggregationName(spec.aggregation)
+        << " per row, top-" << spec.top_k << " by value desc\n";
+  } else if (spec.kind == QuerySpecKind::kTimeRange) {
+    out << "  3. aggregate: " << TimeAggregationName(spec.aggregation)
+        << " over " << spec.time.num_steps() << " timesteps\n";
+  } else {
+    out << "  3. aggregate: identity (point values)\n";
+  }
+  return out.str();
+}
+
+QueryPlanner::QueryPlanner(const Hierarchy* hierarchy)
+    : hierarchy_(hierarchy) {
+  O4A_CHECK(hierarchy != nullptr);
+}
+
+Result<QueryPlan> QueryPlanner::Plan(QuerySpec spec) const {
+  Stopwatch timer;
+  if (spec.kind == QuerySpecKind::kPointBatch) {
+    return Status::InvalidArgument(
+        "point-batch plans are built through PlanBatch");
+  }
+  O4A_RETURN_NOT_OK(spec.Validate(*hierarchy_));
+
+  QueryPlan plan;
+  plan.spec = std::move(spec);
+
+  // Dedup identical region masks by content fingerprint so a grouped
+  // query resolves (and probes the cache for) each distinct region once.
+  std::unordered_map<RegionFingerprint, int, RegionFingerprintHash>
+      slot_of;
+  slot_of.reserve(plan.spec.regions.size());
+
+  plan.rows.reserve(plan.spec.regions.size());
+  for (size_t i = 0; i < plan.spec.regions.size(); ++i) {
+    const RegionFingerprint fp =
+        FingerprintRegion(plan.spec.regions[i], plan.spec.strategy);
+    auto inserted =
+        slot_of.emplace(fp, static_cast<int>(plan.slot_regions.size()));
+    if (inserted.second) {
+      plan.slot_regions.push_back(static_cast<int>(i));
+    }
+    PlanRow row;
+    row.region_slot = inserted.first->second;
+    row.t0 = plan.spec.time.t0;
+    row.t1 = plan.spec.time.t1;
+    plan.rows.push_back(row);
+  }
+  plan.plan_micros = timer.ElapsedMicros();
+  return plan;
+}
+
+Result<QueryPlan> QueryPlanner::PlanBatch(
+    const std::vector<BatchQuery>& queries, QueryStrategy strategy) const {
+  Stopwatch timer;
+  QueryPlan plan;
+  plan.spec.kind = QuerySpecKind::kPointBatch;
+  plan.spec.strategy = strategy;
+  plan.borrowed_regions.reserve(queries.size());
+  plan.slot_regions.reserve(queries.size());
+  plan.rows.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Regions are borrowed, not copied — the caller's BatchQuery vector
+    // outlives the shim's execution, and the hot batch path must not pay
+    // a mask copy per query. One slot per row: structural validation and
+    // resolution failures stay per-query (surfaced by the executor),
+    // matching the legacy BatchPredict contract.
+    plan.borrowed_regions.push_back(&queries[i].region);
+    plan.slot_regions.push_back(static_cast<int>(i));
+    PlanRow row;
+    row.region_slot = static_cast<int>(i);
+    row.t0 = queries[i].t;
+    row.t1 = queries[i].t;
+    plan.rows.push_back(row);
+  }
+  plan.plan_micros = timer.ElapsedMicros();
+  return plan;
+}
+
+}  // namespace one4all

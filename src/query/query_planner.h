@@ -1,0 +1,88 @@
+// Compiles a typed QuerySpec into an executable QueryPlan: which distinct
+// regions to resolve (duplicates share one resolve-cache probe), which
+// timesteps each result row gathers, and which aggregate/rank stage folds
+// the gathered values. The plan is data, not behavior — the QueryExecutor
+// (query/query_executor.h) interprets it on the shared thread pool.
+#ifndef ONE4ALL_QUERY_QUERY_PLANNER_H_
+#define ONE4ALL_QUERY_QUERY_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_server.h"
+#include "query/query_spec.h"
+
+namespace one4all {
+
+/// \brief One result row of a plan: evaluate the resolution of
+/// `region_slot` at every timestep of the inclusive interval [t0, t1]
+/// (ascending), then fold with the spec's aggregation. An interval, not
+/// a materialized list, so plan size stays O(rows) however long the
+/// range is.
+struct PlanRow {
+  int region_slot = 0;  ///< index into QueryPlan::slot_regions
+  int64_t t0 = 0;
+  int64_t t1 = 0;
+
+  int64_t num_steps() const { return t1 - t0 + 1; }
+};
+
+/// \brief Executable form of a QuerySpec. rows[i] produces result row i
+/// (one per spec region, or one per legacy batch entry).
+struct QueryPlan {
+  QuerySpec spec;
+  /// Distinct regions to resolve, as indices into spec.regions. Spec
+  /// shapes dedup identical masks so a grouped query probes the resolve
+  /// cache once per distinct region; the legacy batch adapter keeps one
+  /// slot per row to preserve the original per-query cache semantics.
+  std::vector<int> slot_regions;
+  /// kPointBatch only: borrowed views of the caller's query regions, one
+  /// per slot — the BatchQuery vector must outlive plan execution (the
+  /// shim guarantees this; no mask is copied on the hot batch path).
+  /// Empty for spec shapes, which own their regions in spec.regions.
+  std::vector<const GridMask*> borrowed_regions;
+  std::vector<PlanRow> rows;
+  double plan_micros = 0.0;  ///< time spent compiling this plan
+
+  const GridMask& RegionForSlot(int slot) const {
+    if (!borrowed_regions.empty()) {
+      return *borrowed_regions[static_cast<size_t>(slot)];
+    }
+    return spec.regions[static_cast<size_t>(
+        slot_regions[static_cast<size_t>(slot)])];
+  }
+
+  /// \brief Admission-control cost: total (region, t) gather points.
+  int64_t num_point_queries() const {
+    int64_t n = 0;
+    for (const PlanRow& row : rows) n += row.num_steps();
+    return n;
+  }
+
+  /// \brief Multi-line EXPLAIN-style rendering of the stage pipeline.
+  std::string Describe() const;
+};
+
+/// \brief Stateless spec -> plan compiler. Validation happens here, so
+/// the executor can assume a plan is structurally sound.
+class QueryPlanner {
+ public:
+  /// \param hierarchy Must outlive the planner.
+  explicit QueryPlanner(const Hierarchy* hierarchy);
+
+  /// \brief Compiles one of the four client-facing spec shapes.
+  Result<QueryPlan> Plan(QuerySpec spec) const;
+
+  /// \brief Legacy adapter: arbitrary (region, t) pairs, one row and one
+  /// resolve-cache probe per pair (no dedup — BatchPredict's observable
+  /// cache behavior is part of its contract).
+  Result<QueryPlan> PlanBatch(const std::vector<BatchQuery>& queries,
+                              QueryStrategy strategy) const;
+
+ private:
+  const Hierarchy* hierarchy_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_QUERY_QUERY_PLANNER_H_

@@ -1,24 +1,14 @@
 #include "query/query_server.h"
 
-#include <functional>
-#include <map>
 #include <utility>
 
 #include "core/stopwatch.h"
-#include "core/thread_pool.h"
+#include "query/frame_memo.h"
+#include "query/query_executor.h"
+#include "query/query_planner.h"
 #include "query/resolved_query_cache.h"
-#include "tensor/gemm.h"
 
 namespace one4all {
-
-const char* QueryStrategyName(QueryStrategy strategy) {
-  switch (strategy) {
-    case QueryStrategy::kDirect: return "Direct";
-    case QueryStrategy::kUnion: return "Union";
-    case QueryStrategy::kUnionSubtraction: return "Union & Subtraction";
-  }
-  return "?";
-}
 
 Result<ResolvedQuery> RegionQueryServer::Resolve(
     const GridMask& region, QueryStrategy strategy) const {
@@ -108,20 +98,39 @@ Result<double> RegionQueryServer::TryEvaluateTerms(
   return value;
 }
 
+namespace {
+
+/// \brief Adapts one executor row to the legacy per-query response shape.
+Result<QueryResponse> RowToResponse(Result<QueryRow>&& row) {
+  if (!row.ok()) return row.status();
+  QueryRow& r = *row;
+  QueryResponse response;
+  response.value = r.value;
+  response.num_pieces = r.num_pieces;
+  response.num_terms = r.num_terms;
+  response.decompose_micros = r.decompose_micros;
+  response.index_micros = r.index_micros;
+  response.eval_micros = r.eval_micros;
+  response.response_micros = r.response_micros;
+  response.from_cache = r.from_cache;
+  return response;
+}
+
+}  // namespace
+
 Result<QueryResponse> RegionQueryServer::Predict(
     const GridMask& region, int64_t t, QueryStrategy strategy,
     int64_t generation) const {
-  O4A_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(region, strategy));
-  QueryResponse response;
-  O4A_ASSIGN_OR_RETURN(response.value,
-                       TryEvaluateTerms(resolved.terms, t, generation));
-  response.num_pieces = resolved.num_pieces;
-  response.num_terms = static_cast<int>(resolved.terms.size());
-  response.decompose_micros = resolved.decompose_micros;
-  response.index_micros = resolved.index_micros;
-  response.response_micros =
-      resolved.decompose_micros + resolved.index_micros;
-  return response;
+  // Thin shim over the composable path: point-in-time spec -> plan ->
+  // executor, on the calling thread, no cache.
+  QueryPlanner planner(hierarchy_);
+  O4A_ASSIGN_OR_RETURN(
+      QueryPlan plan,
+      planner.Plan(QuerySpec::PointInTime(region, t, strategy)));
+  QueryExecutorOptions options;
+  options.generation = generation;
+  QueryResult executed = QueryExecutor(this).Execute(plan, options);
+  return RowToResponse(std::move(executed.rows[0]));
 }
 
 Result<std::shared_ptr<const ResolvedQuery>>
@@ -145,133 +154,48 @@ RegionQueryServer::ResolveCached(const GridMask& region,
   return entry;
 }
 
-namespace {
-
-/// \brief Per-worker memo of prediction frames: one GetFrame per
-/// (layer, t) instead of one per combination term.
-class FrameMemo {
- public:
-  FrameMemo(const PredictionStore* store, int64_t generation)
-      : store_(store), generation_(generation) {}
-
-  /// \brief Sums signed term predictions at `t` (same term order as
-  /// RegionQueryServer::EvaluateTerms, so values match it exactly).
-  Status Evaluate(const std::vector<CombinationTerm>& terms, int64_t t,
-                  double* value) {
-    double acc = 0.0;
-    for (const CombinationTerm& term : terms) {
-      const auto key = std::make_pair(term.grid.layer, t);
-      auto it = frames_.find(key);
-      if (it == frames_.end()) {
-        Result<Tensor> frame =
-            store_->GetFrameAt(generation_, term.grid.layer, t);
-        O4A_RETURN_NOT_OK(frame.status());
-        it = frames_.emplace(key, frame.MoveValueUnsafe()).first;
-      }
-      acc += static_cast<double>(term.sign) *
-             it->second.at(term.grid.row, term.grid.col);
-    }
-    *value = acc;
-    return Status::OK();
-  }
-
- private:
-  const PredictionStore* store_;
-  int64_t generation_;
-  std::map<std::pair<int, int64_t>, Tensor> frames_;
-};
-
-/// \brief Runs `body(begin, end)` over [0, n) with the requested
-/// parallelism; `options.pool` wins over a per-call pool.
-void RunSharded(const BatchOptions& options, int64_t n,
-                const std::function<void(int64_t, int64_t)>& body) {
-  if (options.pool != nullptr) {
-    options.pool->ParallelFor(n, body);
-  } else if (options.num_threads == 0) {
-    // Resolve through the central policy: Shared() by default, sequential
-    // when issued from a pool worker (waiting on a pool from one of its
-    // own workers would deadlock).
-    if (ThreadPool* pool = ResolveComputePool()) {
-      pool->ParallelFor(n, body);
-    } else {
-      body(0, n);
-    }
-  } else if (options.num_threads > 1) {
-    ThreadPool pool(options.num_threads);
-    pool.ParallelFor(n, body);
-  } else {
-    body(0, n);
-  }
-}
-
-}  // namespace
-
 std::vector<Result<ResolvedQuery>> RegionQueryServer::BatchResolve(
     const std::vector<GridMask>& regions, QueryStrategy strategy,
     const BatchOptions& options) const {
   std::vector<Result<ResolvedQuery>> results(
       regions.size(), Status::Internal("batch entry not evaluated"));
-  RunSharded(options, static_cast<int64_t>(regions.size()),
-             [&](int64_t begin, int64_t end) {
-               for (int64_t i = begin; i < end; ++i) {
-                 auto resolved = ResolveCached(
-                     regions[static_cast<size_t>(i)], strategy,
-                     options.cache);
-                 if (resolved.ok()) {
-                   results[static_cast<size_t>(i)] = **resolved;
-                 } else {
-                   results[static_cast<size_t>(i)] = resolved.status();
-                 }
-               }
-             });
+  query_internal::RunSharded(
+      options.pool, options.num_threads,
+      static_cast<int64_t>(regions.size()),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          auto resolved = ResolveCached(regions[static_cast<size_t>(i)],
+                                        strategy, options.cache);
+          if (resolved.ok()) {
+            results[static_cast<size_t>(i)] = **resolved;
+          } else {
+            results[static_cast<size_t>(i)] = resolved.status();
+          }
+        }
+      });
   return results;
 }
 
 std::vector<Result<QueryResponse>> RegionQueryServer::BatchPredict(
     const std::vector<BatchQuery>& queries, QueryStrategy strategy,
     const BatchOptions& options) const {
-  std::vector<Result<QueryResponse>> results(
-      queries.size(), Status::Internal("batch entry not evaluated"));
-  RunSharded(options, static_cast<int64_t>(queries.size()),
-             [&](int64_t begin, int64_t end) {
-               FrameMemo memo(store_, options.generation);
-               for (int64_t i = begin; i < end; ++i) {
-                 const BatchQuery& query = queries[static_cast<size_t>(i)];
-                 Stopwatch timer;
-                 bool cache_hit = false;
-                 auto resolved = ResolveCached(query.region, strategy,
-                                               options.cache, &cache_hit);
-                 // Captured before evaluation so a hit reports only the
-                 // resolve-path latency, comparable to decompose+index.
-                 const double resolve_micros = timer.ElapsedMicros();
-                 if (!resolved.ok()) {
-                   results[static_cast<size_t>(i)] = resolved.status();
-                   continue;
-                 }
-                 const ResolvedQuery& rq = **resolved;
-                 QueryResponse response;
-                 Status st = memo.Evaluate(rq.terms, query.t,
-                                           &response.value);
-                 if (!st.ok()) {
-                   results[static_cast<size_t>(i)] = std::move(st);
-                   continue;
-                 }
-                 response.num_pieces = rq.num_pieces;
-                 response.num_terms = static_cast<int>(rq.terms.size());
-                 response.from_cache = cache_hit;
-                 if (cache_hit) {
-                   // Decompose + index were skipped; report the actual
-                   // resolve-path latency (the cache lookup).
-                   response.response_micros = resolve_micros;
-                 } else {
-                   response.decompose_micros = rq.decompose_micros;
-                   response.index_micros = rq.index_micros;
-                   response.response_micros =
-                       rq.decompose_micros + rq.index_micros;
-                 }
-                 results[static_cast<size_t>(i)] = response;
-               }
-             });
+  // Thin shim over the composable path: the legacy batch adapter keeps
+  // one row and one cache probe per (region, t) pair, so the observable
+  // cache statistics and per-query failure semantics are unchanged.
+  QueryPlanner planner(hierarchy_);
+  auto plan = planner.PlanBatch(queries, strategy);
+  O4A_CHECK(plan.ok()) << plan.status().ToString();
+  QueryExecutorOptions exec_options;
+  exec_options.num_threads = options.num_threads;
+  exec_options.pool = options.pool;
+  exec_options.cache = options.cache;
+  exec_options.generation = options.generation;
+  QueryResult executed = QueryExecutor(this).Execute(*plan, exec_options);
+  std::vector<Result<QueryResponse>> results;
+  results.reserve(executed.rows.size());
+  for (auto& row : executed.rows) {
+    results.push_back(RowToResponse(std::move(row)));
+  }
   return results;
 }
 

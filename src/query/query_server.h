@@ -13,21 +13,12 @@
 #include "grid/decompose.h"
 #include "index/quadtree.h"
 #include "kvstore/prediction_store.h"
+#include "query/query_spec.h"
 
 namespace one4all {
 
 class ResolvedQueryCache;  // query/resolved_query_cache.h
 class ThreadPool;          // core/thread_pool.h
-
-/// \brief How a region query's decomposed pieces are turned into
-/// prediction terms (Table III's three strategies).
-enum class QueryStrategy {
-  kDirect,            ///< sum decomposed grids' own predictions
-  kUnion,             ///< single-grid optima from the union-only DP
-  kUnionSubtraction,  ///< multi-grid optima with subtraction (full system)
-};
-
-const char* QueryStrategyName(QueryStrategy strategy);
 
 /// \brief A region query resolved to signed grid terms (time-independent).
 struct ResolvedQuery {
@@ -44,6 +35,10 @@ struct QueryResponse {
   int num_terms = 0;
   double decompose_micros = 0.0;
   double index_micros = 0.0;
+  /// Time spent summing prediction terms out of the store (frame reads
+  /// included). Not part of response_micros — the paper's response time
+  /// counts decomposition + index retrieval only.
+  double eval_micros = 0.0;
   /// Response time in the paper's sense (decompose + index).
   double response_micros = 0.0;
   /// True when the resolution came from a ResolvedQueryCache hit (the
@@ -76,6 +71,12 @@ struct BatchOptions {
 };
 
 /// \brief The online serving component.
+///
+/// Resolve / EvaluateTerms are the primitive operations; the composable
+/// query path (query/query_spec.h -> query/query_planner.h ->
+/// query/query_executor.h) builds every question shape out of them.
+/// Predict and BatchPredict are kept as thin shims over that path — same
+/// results bit-for-bit, same per-query failure semantics.
 class RegionQueryServer {
  public:
   /// \param hierarchy,index,store Must outlive the server.
@@ -87,6 +88,10 @@ class RegionQueryServer {
     O4A_CHECK(index != nullptr);
     O4A_CHECK(store != nullptr);
   }
+
+  const Hierarchy* hierarchy() const { return hierarchy_; }
+  const ExtendedQuadTree* index() const { return index_; }
+  const PredictionStore* store() const { return store_; }
 
   /// \brief Decomposes the region and resolves combination terms without
   /// touching prediction data (reusable across time slots).

@@ -115,4 +115,11 @@ void ResolvedQueryCache::Invalidate() {
   invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ResolvedQueryCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+}
+
 }  // namespace one4all

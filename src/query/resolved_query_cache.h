@@ -36,6 +36,14 @@ struct RegionFingerprint {
 RegionFingerprint FingerprintRegion(const GridMask& region,
                                     QueryStrategy strategy);
 
+/// \brief Hash functor for RegionFingerprint keys — shared by the cache
+/// shards and the query planner's region-dedup map.
+struct RegionFingerprintHash {
+  size_t operator()(const RegionFingerprint& k) const {
+    return static_cast<size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
 struct ResolvedQueryCacheOptions {
   size_t capacity = 4096;  ///< total entries across all shards
   int num_shards = 8;      ///< clamped to >= 1
@@ -49,7 +57,8 @@ struct ResolvedQueryCacheStats {
   int64_t invalidations = 0;  ///< full clears via Invalidate()
   size_t size = 0;
 
-  /// \brief Fraction of lookups served from the cache (0 before any).
+  /// \brief Fraction of lookups served from the cache. Guarded: an idle
+  /// runtime (zero lookups) reports 0.0, never a divide-by-zero NaN.
   double hit_rate() const {
     const int64_t lookups = hits + misses;
     return lookups == 0 ? 0.0
@@ -89,18 +98,20 @@ class ResolvedQueryCache {
   /// Stats().invalidations.
   void Invalidate();
 
+  /// \brief Zeroes the hit/miss/eviction/invalidation counters while
+  /// keeping every cached entry — bench warmup isolation: warm the cache,
+  /// reset the stats, then measure the steady state alone.
+  void ResetStats();
+
  private:
-  struct KeyHash {
-    size_t operator()(const RegionFingerprint& k) const {
-      return static_cast<size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ull));
-    }
-  };
   using LruList = std::list<
       std::pair<RegionFingerprint, std::shared_ptr<const ResolvedQuery>>>;
   struct Shard {
     std::mutex mu;
     LruList lru;  ///< front = most recently used
-    std::unordered_map<RegionFingerprint, LruList::iterator, KeyHash> map;
+    std::unordered_map<RegionFingerprint, LruList::iterator,
+                       RegionFingerprintHash>
+        map;
   };
 
   Shard& ShardFor(const RegionFingerprint& key) {

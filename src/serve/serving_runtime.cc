@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/logging.h"
+#include "query/query_planner.h"
 
 namespace one4all {
 
@@ -33,29 +34,40 @@ void ServingRuntime::Start() { ingestor_->Start(); }
 
 void ServingRuntime::Stop() { ingestor_->Stop(); }
 
-Result<std::vector<Result<QueryResponse>>> ServingRuntime::QueryBatch(
-    const std::vector<BatchQuery>& queries) {
-  const int64_t n = static_cast<int64_t>(queries.size());
-  // Admission control: claim the batch's slots with a check-then-claim
-  // CAS loop — a rejected batch never touches the counter, so an
-  // oversized request cannot transiently inflate it and spuriously
-  // reject concurrent admissible batches. Refusing the whole batch
-  // beats buffering unboundedly under overload.
+Status ServingRuntime::AdmitQueries(int64_t cost, int64_t num_queries) {
+  // Admission control: claim the request's slots with a check-then-claim
+  // CAS loop — a rejected request never touches the counter, so an
+  // oversized one cannot transiently inflate it and spuriously reject
+  // concurrent admissible requests. Refusing the whole request beats
+  // buffering unboundedly under overload.
   int64_t prior = inflight_.load(std::memory_order_relaxed);
   do {
-    if (prior + n > options_.max_inflight_queries) {
-      telemetry_.queries_rejected.fetch_add(n, std::memory_order_relaxed);
+    if (prior + cost > options_.max_inflight_queries) {
+      telemetry_.queries_rejected.fetch_add(num_queries,
+                                            std::memory_order_relaxed);
       telemetry_.batches_rejected.fetch_add(1, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           "serving overloaded: " + std::to_string(prior) +
-          " queries in flight, batch of " + std::to_string(n) +
+          " gather slots in flight, request of " + std::to_string(cost) +
           " exceeds budget of " +
           std::to_string(options_.max_inflight_queries));
     }
-  } while (!inflight_.compare_exchange_weak(prior, prior + n,
+  } while (!inflight_.compare_exchange_weak(prior, prior + cost,
                                             std::memory_order_acq_rel,
                                             std::memory_order_relaxed));
   telemetry_.batches_admitted.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ServingRuntime::ReleaseQueries(int64_t cost) {
+  inflight_.fetch_sub(cost, std::memory_order_acq_rel);
+}
+
+Result<std::vector<Result<QueryResponse>>> ServingRuntime::QueryBatch(
+    const std::vector<BatchQuery>& queries) {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  O4A_RETURN_NOT_OK(AdmitQueries(n, n));
+  telemetry_.CountSpec(QuerySpecKind::kPointBatch);
 
   std::vector<Result<QueryResponse>> results;
   {
@@ -71,19 +83,8 @@ Result<std::vector<Result<QueryResponse>>> ServingRuntime::QueryBatch(
     results = server_->BatchPredict(queries, options_.strategy,
                                     batch_options);
   }
-  inflight_.fetch_sub(n, std::memory_order_acq_rel);
-
-  int64_t served = 0, failed = 0;
-  for (const auto& result : results) {
-    if (result.ok()) {
-      ++served;
-      telemetry_.query_latency.Record(result.ValueOrDie().response_micros);
-    } else {
-      ++failed;
-    }
-  }
-  telemetry_.queries_served.fetch_add(served, std::memory_order_relaxed);
-  telemetry_.queries_failed.fetch_add(failed, std::memory_order_relaxed);
+  ReleaseQueries(n);
+  RecordRowOutcomes(results);
   return results;
 }
 
@@ -92,6 +93,51 @@ Result<QueryResponse> ServingRuntime::Query(const GridMask& region,
   O4A_ASSIGN_OR_RETURN(std::vector<Result<QueryResponse>> results,
                        QueryBatch({BatchQuery{region, t}}));
   return results[0];
+}
+
+Result<QueryResult> ServingRuntime::ExecuteSpec(QuerySpec spec) {
+  // Validate and admit BEFORE planning. Validation is O(regions) with no
+  // allocation, so an invalid spec (the caller's bug, not overload)
+  // never consumes budget — and an absurdly long time range is bounced
+  // by admission before any per-plan work happens. The cost formula
+  // matches QueryPlan::num_point_queries() for every spec shape: each of
+  // the |regions| rows gathers the full selector range (dedup shares
+  // resolutions, not gathers).
+  O4A_RETURN_NOT_OK(spec.Validate(*hierarchy_));
+  const int64_t num_rows = static_cast<int64_t>(spec.regions.size());
+  const int64_t steps = spec.time.num_steps();
+  // Overflow-safe cost: a product that cannot fit the budget is clamped
+  // to just past it — guaranteed rejection without int64 wraparound.
+  const int64_t cost =
+      num_rows > options_.max_inflight_queries / steps
+          ? options_.max_inflight_queries + 1
+          : num_rows * steps;
+  O4A_RETURN_NOT_OK(AdmitQueries(cost, num_rows));
+  telemetry_.CountSpec(spec.kind);
+
+  QueryPlanner planner(hierarchy_);
+  auto plan = planner.Plan(std::move(spec));
+  if (!plan.ok()) {
+    ReleaseQueries(cost);
+    return plan.status();
+  }
+
+  QueryResult result;
+  {
+    // Same consistency contract as QueryBatch: one pinned epoch covers
+    // every frame gather of the plan, so a time-range answer can never
+    // mix two epochs' frames.
+    EpochGuard epoch = epochs_.Pin();
+    QueryExecutorOptions exec_options;
+    exec_options.num_threads = options_.num_query_threads;
+    exec_options.cache = &cache_;
+    exec_options.generation = epoch.generation();
+    std::shared_lock<std::shared_mutex> server_lock(server_mu_);
+    result = QueryExecutor(server_.get()).Execute(*plan, exec_options);
+  }
+  ReleaseQueries(cost);
+  RecordRowOutcomes(result.rows);
+  return result;
 }
 
 void ServingRuntime::SwapIndex(const ExtendedQuadTree* index) {

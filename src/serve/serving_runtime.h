@@ -15,7 +15,9 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "query/query_executor.h"
 #include "query/query_server.h"
+#include "query/query_spec.h"
 #include "query/resolved_query_cache.h"
 #include "serve/epoch_manager.h"
 #include "serve/stream_ingestor.h"
@@ -64,12 +66,25 @@ class ServingRuntime {
   /// epoch. The whole batch is rejected with ResourceExhausted when it
   /// would exceed the in-flight budget; per-query failures (e.g. a
   /// timestep no published epoch covers yet) surface as that entry's
-  /// Status without aborting anything.
+  /// Status without aborting anything. Counted as a kPointBatch spec;
+  /// uses options().strategy.
   Result<std::vector<Result<QueryResponse>>> QueryBatch(
       const std::vector<BatchQuery>& queries);
 
   /// \brief Single-query convenience over the same admission/pin path.
   Result<QueryResponse> Query(const GridMask& region, int64_t t);
+
+  /// \brief Composable entry point: plans and executes a typed QuerySpec
+  /// (point / time-range / multi-region / top-k) through the same
+  /// admission-control, epoch-pin and resolve-cache machinery as
+  /// QueryBatch. The spec's own strategy is honored (factories default
+  /// to Union & Subtraction). Admission cost is the plan's total
+  /// (region, t) gather count; an over-budget spec is rejected whole
+  /// with ResourceExhausted, an invalid one with InvalidArgument. Row
+  /// latencies and per-kind spec counts land in the telemetry block.
+  /// Taken by value so callers passing temporaries move the region set
+  /// straight through to the plan, no mask copies.
+  Result<QueryResult> ExecuteSpec(QuerySpec spec);
 
   /// \brief Pins the current epoch (tests, multi-batch consistency).
   EpochGuard PinEpoch() { return epochs_.Pin(); }
@@ -89,6 +104,33 @@ class ServingRuntime {
   const ServingRuntimeOptions& options() const { return options_; }
 
  private:
+  /// \brief Claims `cost` in-flight slots or rejects with
+  /// ResourceExhausted. `num_queries` is what the rejection counters
+  /// record — result rows, the same unit queries_served/failed use, so
+  /// the telemetry block stays internally comparable even when a
+  /// time-range row costs many gather slots. ReleaseQueries undoes an
+  /// admitted claim.
+  Status AdmitQueries(int64_t cost, int64_t num_queries);
+  void ReleaseQueries(int64_t cost);
+
+  /// \brief Records per-row outcomes (served/failed counts + response
+  /// latency) into the telemetry block. Works for both row shapes —
+  /// legacy QueryResponse and executor QueryRow.
+  template <typename Row>
+  void RecordRowOutcomes(const std::vector<Result<Row>>& rows) {
+    int64_t served = 0, failed = 0;
+    for (const auto& row : rows) {
+      if (row.ok()) {
+        ++served;
+        telemetry_.query_latency.Record(row.ValueOrDie().response_micros);
+      } else {
+        ++failed;
+      }
+    }
+    telemetry_.queries_served.fetch_add(served, std::memory_order_relaxed);
+    telemetry_.queries_failed.fetch_add(failed, std::memory_order_relaxed);
+  }
+
   const Hierarchy* hierarchy_;
   const STDataset* dataset_;
   ServingRuntimeOptions options_;

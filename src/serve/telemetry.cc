@@ -78,12 +78,33 @@ ServingTelemetrySnapshot ServingTelemetry::Snapshot() const {
   snap.epochs_published = epochs_published.load(std::memory_order_relaxed);
   snap.epochs_reclaimed = epochs_reclaimed.load(std::memory_order_relaxed);
   snap.frames_staged = frames_staged.load(std::memory_order_relaxed);
+  for (int k = 0; k < kNumQuerySpecKinds; ++k) {
+    snap.specs_by_kind[static_cast<size_t>(k)] =
+        specs_by_kind[static_cast<size_t>(k)].load(
+            std::memory_order_relaxed);
+  }
   snap.query_p50_micros = query_latency.PercentileMicros(0.50);
   snap.query_p99_micros = query_latency.PercentileMicros(0.99);
   snap.query_mean_micros = query_latency.MeanMicros();
   snap.publish_p50_micros = publish_latency.PercentileMicros(0.50);
   snap.publish_p99_micros = publish_latency.PercentileMicros(0.99);
   return snap;
+}
+
+void ServingTelemetry::Reset() {
+  queries_served.store(0, std::memory_order_relaxed);
+  queries_failed.store(0, std::memory_order_relaxed);
+  queries_rejected.store(0, std::memory_order_relaxed);
+  batches_admitted.store(0, std::memory_order_relaxed);
+  batches_rejected.store(0, std::memory_order_relaxed);
+  epochs_published.store(0, std::memory_order_relaxed);
+  epochs_reclaimed.store(0, std::memory_order_relaxed);
+  frames_staged.store(0, std::memory_order_relaxed);
+  for (auto& counter : specs_by_kind) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  query_latency.Reset();
+  publish_latency.Reset();
 }
 
 TablePrinter ServingTelemetrySnapshot::Render(
@@ -99,6 +120,12 @@ TablePrinter ServingTelemetrySnapshot::Render(
   table.AddRow({"epochs published", std::to_string(epochs_published)});
   table.AddRow({"epochs reclaimed", std::to_string(epochs_reclaimed)});
   table.AddRow({"frames staged", std::to_string(frames_staged)});
+  table.AddSeparator();
+  for (int k = 0; k < kNumQuerySpecKinds; ++k) {
+    table.AddRow({std::string("specs ") +
+                      QuerySpecKindName(static_cast<QuerySpecKind>(k)),
+                  std::to_string(specs_by_kind[static_cast<size_t>(k)])});
+  }
   table.AddSeparator();
   table.AddRow({"query p50 (us)", TablePrinter::Num(query_p50_micros, 1)});
   table.AddRow({"query p99 (us)", TablePrinter::Num(query_p99_micros, 1)});

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/table_printer.h"
+#include "query/query_spec.h"
 
 namespace one4all {
 
@@ -57,11 +58,23 @@ struct ServingTelemetrySnapshot {
   int64_t epochs_published = 0;
   int64_t epochs_reclaimed = 0;
   int64_t frames_staged = 0;
+  /// Executed specs by QuerySpecKind (point / range / multi-region /
+  /// top-k / legacy batch), indexed by static_cast<int>(kind).
+  std::array<int64_t, kNumQuerySpecKinds> specs_by_kind{};
   double query_p50_micros = 0.0;  ///< per-query response time (paper sense)
   double query_p99_micros = 0.0;
   double query_mean_micros = 0.0;
   double publish_p50_micros = 0.0;  ///< stage+publish latency per epoch
   double publish_p99_micros = 0.0;
+
+  /// \brief Fraction of admitted queries answered OK. Guarded: an idle
+  /// runtime (nothing admitted yet) reports 0.0, never NaN.
+  double query_success_rate() const {
+    const int64_t admitted = queries_served + queries_failed;
+    return admitted == 0 ? 0.0
+                         : static_cast<double>(queries_served) /
+                               static_cast<double>(admitted);
+  }
 
   /// \brief Two-column counter table for operators.
   TablePrinter Render(const std::string& title = "Serving telemetry") const;
@@ -82,10 +95,24 @@ class ServingTelemetry {
   std::atomic<int64_t> epochs_published{0};
   std::atomic<int64_t> epochs_reclaimed{0};
   std::atomic<int64_t> frames_staged{0};
+  /// Executed specs by QuerySpecKind (legacy QueryBatch counts as
+  /// kPointBatch), indexed by static_cast<int>(kind).
+  std::array<std::atomic<int64_t>, kNumQuerySpecKinds> specs_by_kind{};
   LatencyHistogram query_latency;    ///< per-query response micros
   LatencyHistogram publish_latency;  ///< per-epoch stage+publish micros
 
+  /// \brief One relaxed increment on the spec's kind counter.
+  void CountSpec(QuerySpecKind kind) {
+    specs_by_kind[static_cast<size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
   ServingTelemetrySnapshot Snapshot() const;
+
+  /// \brief Zeroes every counter and histogram — bench warmup isolation:
+  /// run the warmup storm, Reset(), then measure the steady state alone.
+  /// Not atomic across counters; call while the runtime is quiescent.
+  void Reset();
 };
 
 }  // namespace one4all

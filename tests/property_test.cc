@@ -111,7 +111,8 @@ TEST_P(SeedSweepTest, UnionSubtractionMatchesBruteForceAtomicSum) {
     auto resolved =
         server.Resolve(region, QueryStrategy::kUnionSubtraction);
     ASSERT_TRUE(resolved.ok());
-    const double via_terms = server.EvaluateTerms(resolved->terms, t);
+    const auto via_terms = server.TryEvaluateTerms(resolved->terms, t);
+    ASSERT_TRUE(via_terms.ok()) << via_terms.status().ToString();
     // Brute force: one +1 term per atomic cell of the region.
     std::vector<CombinationTerm> atomic_terms;
     for (int64_t r = 0; r < 8; ++r) {
@@ -121,9 +122,10 @@ TEST_P(SeedSweepTest, UnionSubtractionMatchesBruteForceAtomicSum) {
         }
       }
     }
-    const double brute_force = server.EvaluateTerms(atomic_terms, t);
-    EXPECT_NEAR(via_terms, brute_force,
-                1e-3 * (1.0 + std::abs(brute_force)))
+    const auto brute_force = server.TryEvaluateTerms(atomic_terms, t);
+    ASSERT_TRUE(brute_force.ok()) << brute_force.status().ToString();
+    EXPECT_NEAR(*via_terms, *brute_force,
+                1e-3 * (1.0 + std::abs(*brute_force)))
         << "seed " << seed << " mask " << i;
   }
 }

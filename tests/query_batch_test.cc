@@ -174,6 +174,103 @@ TEST(QueryBatchTest, CachedBatchMatchesAndHits) {
   }
 }
 
+TEST(QueryBatchTest, ResolveCachedReportsCacheHitOutParam) {
+  BatchFixture fx;
+  const GridMask region = RandomMask(8, 8, 4321, 400);
+  ASSERT_FALSE(region.Empty());
+  const RegionQueryServer& server = fx.pipeline->server();
+
+  // Without a cache: never a hit, even when primed true.
+  bool hit = true;
+  auto uncached = server.ResolveCached(
+      region, QueryStrategy::kUnionSubtraction, nullptr, &hit);
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_FALSE(hit);
+
+  ResolvedQueryCache cache;
+  hit = true;
+  auto first = server.ResolveCached(
+      region, QueryStrategy::kUnionSubtraction, &cache, &hit);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(hit);  // cold cache: a miss
+
+  hit = false;
+  auto second = server.ResolveCached(
+      region, QueryStrategy::kUnionSubtraction, &cache, &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  // The hit returns the same shared resolution, not a re-resolve.
+  EXPECT_EQ(second->get(), first->get());
+
+  // A failing resolve reports no hit either (nullptr out-param is also
+  // legal — exercised implicitly by BatchResolve).
+  hit = true;
+  GridMask empty(8, 8);
+  auto failed = server.ResolveCached(
+      empty, QueryStrategy::kUnionSubtraction, &cache, &hit);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(hit);
+}
+
+TEST(QueryBatchTest, CacheKeysDistinguishStrategiesForSameMask) {
+  BatchFixture fx;
+  // A multi-cell region so Direct / Union / Union&Subtraction genuinely
+  // resolve to different term lists.
+  GridMask region(8, 8);
+  region.FillRect(0, 0, 3, 3);
+  region.Set(5, 5, true);
+  ResolvedQueryCache cache;
+  const RegionQueryServer& server = fx.pipeline->server();
+
+  for (QueryStrategy strategy : kAllStrategies) {
+    bool hit = true;
+    auto resolved = server.ResolveCached(region, strategy, &cache, &hit);
+    ASSERT_TRUE(resolved.ok());
+    // No cross-strategy pollution: each first lookup is a miss...
+    EXPECT_FALSE(hit) << QueryStrategyName(strategy);
+  }
+  EXPECT_EQ(cache.Size(), 3u);
+  // ...and each strategy's entry replays its own resolution.
+  for (QueryStrategy strategy : kAllStrategies) {
+    bool hit = false;
+    auto cached = server.ResolveCached(region, strategy, &cache, &hit);
+    ASSERT_TRUE(cached.ok());
+    EXPECT_TRUE(hit);
+    auto fresh = server.Resolve(region, strategy);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_EQ((*cached)->terms.size(), fresh->terms.size())
+        << QueryStrategyName(strategy);
+    for (size_t k = 0; k < fresh->terms.size(); ++k) {
+      EXPECT_EQ((*cached)->terms[k], fresh->terms[k]);
+    }
+  }
+}
+
+TEST(ResolvedQueryCacheTest, ResetStatsKeepsEntries) {
+  ResolvedQueryCache cache;
+  const RegionFingerprint key{7, 70};
+  cache.Put(key, std::make_shared<const ResolvedQuery>());
+  ASSERT_NE(cache.Get(key), nullptr);
+  (void)cache.Get(RegionFingerprint{8, 80});  // a miss
+  auto before = cache.Stats();
+  EXPECT_EQ(before.hits, 1);
+  EXPECT_EQ(before.misses, 1);
+  EXPECT_GT(before.hit_rate(), 0.0);
+
+  cache.ResetStats();
+  auto after = cache.Stats();
+  EXPECT_EQ(after.hits, 0);
+  EXPECT_EQ(after.misses, 0);
+  EXPECT_EQ(after.evictions, 0);
+  EXPECT_EQ(after.invalidations, 0);
+  // Guarded: zero lookups reads as 0.0, not NaN.
+  EXPECT_EQ(after.hit_rate(), 0.0);
+  // Warm entries survive — that is the point of warmup isolation.
+  EXPECT_EQ(after.size, 1u);
+  EXPECT_NE(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.Stats().hits, 1);
+}
+
 TEST(QueryBatchTest, StrategiesDoNotShareCacheEntries) {
   BatchFixture fx;
   const GridMask region = RandomMask(8, 8, 1234, 400);

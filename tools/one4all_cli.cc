@@ -5,21 +5,30 @@
 //                        --epochs 15 --model model.bin
 //   one4all_cli query    --flows flows.bin --model model.bin
 //                        --rect 4,4,12,12 [--t <slot>] [--strategy usub]
+//                        [--t0 <slot> --t1 <slot>] [--agg sum|mean|max]
+//                        [--rects "r0,c0,r1,c1;..."] [--topk K] [--explain]
 //   one4all_cli eval     --flows flows.bin --model model.bin --task 2
 //   one4all_cli search-structure --flows flows.bin --budget 50000
 //   one4all_cli serve    --flows flows.bin [--model model.bin]
 //                        [--steps 24] [--clients 2] [--batch 64]
 //                        [--publish-ms 20] [--retain 0] [--strategy usub]
 //
+// `query` compiles the flags into a typed QuerySpec (point-in-time,
+// time-range aggregation, multi-region group, or top-k ranking), plans
+// it, and runs it through the QueryExecutor; `--explain` prints the
+// compiled plan's stage pipeline.
+//
 // `serve` runs the online loop end-to-end: a background ingestor replays
 // N timesteps (model inference when --model is given, ground-truth
 // aggregation otherwise), publishing each as an atomic epoch, while
-// client threads fire a region-query storm at the runtime; finishes by
-// printing the serving telemetry block.
+// client threads fire a storm of mixed query shapes (legacy batches,
+// time-range, multi-region and top-k specs) at the runtime; finishes by
+// printing the serving telemetry block with per-spec-kind counts.
 //
 // The model file stores the network weights; a sidecar "<model>.meta"
 // records the hierarchy/window configuration so `query`/`eval` can
 // reconstruct the network before loading weights.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <iostream>
@@ -28,8 +37,11 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "data/flow_io.h"
+#include "query/query_executor.h"
+#include "query/query_planner.h"
 #include "eval/task_eval.h"
 #include "model/baselines_simple.h"
 #include "model/hierarchy_search.h"
@@ -210,6 +222,28 @@ Result<std::unique_ptr<One4AllNet>> LoadModel(const std::string& model_path,
   return net;
 }
 
+// Parses "r0,c0,r1,c1" (atomic cells, end-exclusive) into a filled mask.
+std::optional<GridMask> ParseRect(const std::string& text, int64_t grid) {
+  std::istringstream rect(text);
+  int64_t r0, c0, r1, c1;
+  char comma;
+  rect >> r0 >> comma >> c0 >> comma >> r1 >> comma >> c1;
+  if (!rect || r0 < 0 || r1 > grid || c0 < 0 || c1 > grid || r0 >= r1 ||
+      c0 >= c1) {
+    return std::nullopt;
+  }
+  GridMask region(grid, grid);
+  region.FillRect(r0, c0, r1, c1);
+  return region;
+}
+
+QueryStrategy ParseStrategy(const Flags& flags) {
+  const std::string name = flags.Get("strategy", "usub");
+  return name == "direct" ? QueryStrategy::kDirect
+         : name == "union" ? QueryStrategy::kUnion
+                           : QueryStrategy::kUnionSubtraction;
+}
+
 int CmdQuery(const Flags& flags) {
   const std::string model_path = flags.Get("model", "model.bin");
   auto meta = LoadMeta(model_path + ".meta");
@@ -228,40 +262,103 @@ int CmdQuery(const Flags& flags) {
     return 1;
   }
 
-  // Region: --rect r0,c0,r1,c1 (atomic cells, end-exclusive).
-  GridMask region(meta->grid, meta->grid);
+  // Region set: --rects "a;b;c" (semicolon-separated rects) wins over the
+  // single --rect.
+  std::vector<GridMask> regions;
   {
-    std::istringstream rect(flags.Get("rect", "0,0,4,4"));
-    int64_t r0, c0, r1, c1;
-    char comma;
-    rect >> r0 >> comma >> c0 >> comma >> r1 >> comma >> c1;
-    if (!rect || r0 < 0 || r1 > meta->grid || c0 < 0 || c1 > meta->grid ||
-        r0 >= r1 || c0 >= c1) {
-      std::cerr << "bad --rect (want r0,c0,r1,c1 inside the raster)\n";
-      return 1;
+    std::string rects = flags.Get("rects", flags.Get("rect", "0,0,4,4"));
+    std::istringstream list(rects);
+    std::string one;
+    while (std::getline(list, one, ';')) {
+      if (one.empty()) continue;
+      auto region = ParseRect(one, meta->grid);
+      if (!region.has_value()) {
+        std::cerr << "bad rect \"" << one
+                  << "\" (want r0,c0,r1,c1 inside the raster)\n";
+        return 1;
+      }
+      regions.push_back(std::move(*region));
     }
-    region.FillRect(r0, c0, r1, c1);
   }
-
-  auto pipeline = MauPipeline::Build(net->get(), *dataset, SearchOptions{});
-  const int64_t t = flags.Has("t") ? flags.GetInt("t", 0)
-                                   : dataset->test_indices()[0];
-  const std::string strategy_name = flags.Get("strategy", "usub");
-  const QueryStrategy strategy =
-      strategy_name == "direct" ? QueryStrategy::kDirect
-      : strategy_name == "union" ? QueryStrategy::kUnion
-                                 : QueryStrategy::kUnionSubtraction;
-  auto response = pipeline->server().Predict(region, t, strategy);
-  if (!response.ok()) {
-    std::cerr << response.status().ToString() << "\n";
+  if (regions.empty()) {
+    std::cerr << "no regions given\n";
     return 1;
   }
-  std::cout << "strategy=" << QueryStrategyName(strategy) << " t=" << t
-            << "\npredicted=" << response->value
-            << " actual=" << RegionTruth(*dataset, region, t)
-            << "\npieces=" << response->num_pieces
-            << " terms=" << response->num_terms
-            << " response=" << response->response_micros << " us\n";
+
+  // Compile the flags into a typed QuerySpec.
+  const int64_t t = flags.Has("t") ? flags.GetInt("t", 0)
+                                   : dataset->test_indices()[0];
+  const int64_t t0 = flags.GetInt("t0", t);
+  const int64_t t1 = flags.GetInt("t1", t0);
+  const std::string agg_name = flags.Get("agg", "sum");
+  const TimeAggregation agg = agg_name == "mean" ? TimeAggregation::kMean
+                              : agg_name == "max" ? TimeAggregation::kMax
+                                                  : TimeAggregation::kSum;
+  const QueryStrategy strategy = ParseStrategy(flags);
+  QuerySpec spec;
+  if (flags.Has("topk")) {
+    spec = QuerySpec::TopK(std::move(regions), t0,
+                           static_cast<int>(flags.GetInt("topk", 1)),
+                           strategy);
+  } else if (regions.size() > 1) {
+    spec = QuerySpec::MultiRegion(std::move(regions), t0, strategy);
+  } else if (t1 > t0) {
+    spec = QuerySpec::TimeRange(std::move(regions[0]), t0, t1, agg,
+                                strategy);
+  } else {
+    spec = QuerySpec::PointInTime(std::move(regions[0]), t0, strategy);
+  }
+  // Range selectors and aggregation compose with every shape.
+  spec.time = TimeSelector::Range(t0, t1);
+  spec.aggregation = agg;
+  spec.keep_series = true;
+
+  auto pipeline = MauPipeline::Build(net->get(), *dataset, SearchOptions{});
+  QueryPlanner planner(&dataset->hierarchy());
+  auto plan = planner.Plan(spec);
+  if (!plan.ok()) {
+    std::cerr << plan.status().ToString() << "\n";
+    return 1;
+  }
+  if (flags.Has("explain")) std::cout << plan->Describe();
+  const QueryResult result =
+      QueryExecutor(&pipeline->server()).Execute(*plan);
+
+  std::cout << spec.ToString() << "\n";
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    const auto& row = result.rows[i];
+    if (!row.ok()) {
+      std::cout << "region " << i << ": " << row.status().ToString()
+                << "\n";
+      continue;
+    }
+    // Fold the ground truth the same way the spec folds predictions.
+    double truth = agg == TimeAggregation::kMax
+                       ? RegionTruth(*dataset, spec.regions[i], spec.time.t0)
+                       : 0.0;
+    for (int64_t slot = spec.time.t0; slot <= spec.time.t1; ++slot) {
+      const double v = RegionTruth(*dataset, spec.regions[i], slot);
+      truth = agg == TimeAggregation::kMax ? std::max(truth, v) : truth + v;
+    }
+    if (agg == TimeAggregation::kMean) {
+      truth /= static_cast<double>(spec.time.num_steps());
+    }
+    std::cout << "region " << i << ": predicted=" << row->value
+              << " actual=" << truth << " pieces=" << row->num_pieces
+              << " terms=" << row->num_terms
+              << " response=" << row->response_micros
+              << " us eval=" << row->eval_micros << " us\n";
+  }
+  if (spec.kind == QuerySpecKind::kTopK) {
+    std::cout << "top-" << spec.top_k << ":";
+    for (const int idx : result.top_k) std::cout << " region#" << idx;
+    std::cout << "\n";
+  }
+  std::cout << "stages: plan=" << result.timings.plan_micros
+            << " us resolve=" << result.timings.resolve_micros
+            << " us eval=" << result.timings.eval_micros
+            << " us rank=" << result.timings.rank_micros
+            << " us total=" << result.timings.total_micros << " us\n";
   return 0;
 }
 
@@ -392,11 +489,7 @@ int CmdServe(const Flags& flags) {
   options.ingest.min_publish_interval_ms = flags.GetInt("publish-ms", 20);
   options.retain_timesteps = flags.GetInt("retain", 0);
   options.num_query_threads = 1;
-  const std::string strategy_name = flags.Get("strategy", "usub");
-  options.strategy =
-      strategy_name == "direct" ? QueryStrategy::kDirect
-      : strategy_name == "union" ? QueryStrategy::kUnion
-                                 : QueryStrategy::kUnionSubtraction;
+  options.strategy = ParseStrategy(flags);
   FrameInference inference =
       net != nullptr ? MakeOne4AllInference(net.get(), dataset.operator->())
                      : MakeGroundTruthInference(dataset.operator->());
@@ -418,20 +511,55 @@ int CmdServe(const Flags& flags) {
   for (int c = 0; c < clients; ++c) {
     storm.emplace_back([&, c] {
       Rng rng(static_cast<uint64_t>(7 + c));
+      const QueryStrategy strategy = runtime.options().strategy;
+      // Mixed-shape storm: legacy point batches plus each composable
+      // spec shape, so the per-spec-kind telemetry below sees traffic.
+      int shape = c;
       while (!runtime.ingestor().done()) {
         const int64_t latest = runtime.epochs().published_latest_t();
         const int64_t span = latest - options.ingest.start_t + 1;
-        std::vector<BatchQuery> batch;
-        for (int i = 0; i < batch_size; ++i) {
-          batch.push_back(BatchQuery{
-              regions[static_cast<size_t>(rng.UniformInt(regions.size()))],
-              options.ingest.start_t +
-                  static_cast<int64_t>(
-                      rng.UniformInt(static_cast<uint64_t>(span)))});
-        }
+        auto random_region = [&] {
+          return regions[static_cast<size_t>(rng.UniformInt(regions.size()))];
+        };
+        auto random_t = [&] {
+          return options.ingest.start_t +
+                 static_cast<int64_t>(
+                     rng.UniformInt(static_cast<uint64_t>(span)));
+        };
         // Admission rejects and per-query failures are counted by the
         // runtime's telemetry, rendered below.
-        (void)runtime.QueryBatch(batch);
+        switch (shape++ % 4) {
+          case 0: {
+            std::vector<BatchQuery> batch;
+            for (int i = 0; i < batch_size; ++i) {
+              batch.push_back(BatchQuery{random_region(), random_t()});
+            }
+            (void)runtime.QueryBatch(batch);
+            break;
+          }
+          case 1: {
+            (void)runtime.ExecuteSpec(QuerySpec::TimeRange(
+                random_region(), options.ingest.start_t,
+                options.ingest.start_t + (span - 1) / 2,
+                TimeAggregation::kMean, strategy));
+            break;
+          }
+          case 2: {
+            std::vector<GridMask> group;
+            for (int i = 0; i < 8; ++i) group.push_back(random_region());
+            (void)runtime.ExecuteSpec(
+                QuerySpec::MultiRegion(std::move(group), random_t(),
+                                       strategy));
+            break;
+          }
+          default: {
+            std::vector<GridMask> group;
+            for (int i = 0; i < 8; ++i) group.push_back(random_region());
+            (void)runtime.ExecuteSpec(
+                QuerySpec::TopK(std::move(group), random_t(), 3, strategy));
+            break;
+          }
+        }
       }
     });
   }
