@@ -204,6 +204,12 @@ std::unique_ptr<MauPipeline> MauPipeline::Build(FlowPredictor* predictor,
       }
     }
   }
+  // Derive summed-area planes for everything just synced, so the SAT
+  // fast path works against the static generation exactly as it does
+  // against epoch-published ones. Cost is one pass over the (small)
+  // per-layer frames; negligible next to the prediction ingest above.
+  pipeline->store_.BuildSatPlanes(0);
+
   pipeline->server_ = std::make_unique<RegionQueryServer>(
       &dataset.hierarchy(), &pipeline->index_, &pipeline->store_);
   return pipeline;

@@ -23,6 +23,21 @@ std::string PredictionStore::FrameKeyAt(int64_t generation, int layer,
   return buf;
 }
 
+std::string PredictionStore::SatPlaneKeyAt(int64_t generation, int layer,
+                                           int64_t t) {
+  // Same 12-digit timestep suffix as FrameKeyAt, so the timestep parses
+  // in CopyGeneration / DropFramesBelow work on plane keys unchanged.
+  char buf[72];
+  std::snprintf(buf, sizeof(buf), "pred/%08lld/sat/%02d/%012lld",
+                static_cast<long long>(generation), layer,
+                static_cast<long long>(t));
+  return buf;
+}
+
+std::string PredictionStore::SatPlanePrefix(int64_t generation) {
+  return GenerationPrefix(generation) + "sat/";
+}
+
 std::string PredictionStore::FrameKey(int layer, int64_t t) {
   return FrameKeyAt(0, layer, t);
 }
@@ -34,6 +49,12 @@ void PredictionStore::SyncFrame(int layer, int64_t t, const Tensor& frame) {
 void PredictionStore::SyncFrameAt(int64_t generation, int layer, int64_t t,
                                   const Tensor& frame) {
   O4A_CHECK_EQ(frame.ndim(), 2u);
+  // A frame write invalidates its derived plane: without this, a writer
+  // that overwrites a carried-forward frame (e.g. a re-staged timestep
+  // with plane building disabled) would leave the previous frame's
+  // plane behind for the SAT fast path to silently read. Writers that
+  // do build planes re-sync the fresh plane right after.
+  (void)store_->Delete(SatPlaneKeyAt(generation, layer, t));
   const int32_t h = static_cast<int32_t>(frame.dim(0));
   const int32_t w = static_cast<int32_t>(frame.dim(1));
   std::string blob;
@@ -91,6 +112,65 @@ Result<float> PredictionStore::TryGetValueAt(int64_t generation, int layer,
   return frame.at(row, col);
 }
 
+void PredictionStore::SyncSatPlaneAt(int64_t generation, int layer,
+                                     int64_t t, const SatPlane& plane) {
+  const int32_t h = static_cast<int32_t>(plane.height());
+  const int32_t w = static_cast<int32_t>(plane.width());
+  std::string blob;
+  blob.resize(8 + sizeof(double) * static_cast<size_t>(plane.numel()));
+  std::memcpy(blob.data(), &h, 4);
+  std::memcpy(blob.data() + 4, &w, 4);
+  std::memcpy(blob.data() + 8, plane.data(),
+              sizeof(double) * static_cast<size_t>(plane.numel()));
+  store_->Put(SatPlaneKeyAt(generation, layer, t), std::move(blob));
+}
+
+Result<SatPlane> PredictionStore::GetSatPlaneAt(int64_t generation,
+                                                int layer, int64_t t) const {
+  O4A_ASSIGN_OR_RETURN(std::string blob,
+                       store_->Get(SatPlaneKeyAt(generation, layer, t)));
+  if (blob.size() < 8) {
+    return Status::Internal("corrupt summed-area plane blob");
+  }
+  int32_t h = 0, w = 0;
+  std::memcpy(&h, blob.data(), 4);
+  std::memcpy(&w, blob.data() + 4, 4);
+  // Validate against the untrusted header BEFORE allocating the plane —
+  // a corrupt blob must produce a Status, not a bad_alloc.
+  if (h < 0 || w < 0 ||
+      blob.size() != 8 + sizeof(double) *
+                             static_cast<size_t>(int64_t{h} + 1) *
+                             static_cast<size_t>(int64_t{w} + 1)) {
+    return Status::Internal("summed-area plane size mismatch");
+  }
+  SatPlane plane(h, w);
+  std::memcpy(plane.data(), blob.data() + 8, blob.size() - 8);
+  return plane;
+}
+
+bool PredictionStore::HasSatPlaneAt(int64_t generation, int layer,
+                                    int64_t t) const {
+  return store_->Contains(SatPlaneKeyAt(generation, layer, t));
+}
+
+int64_t PredictionStore::BuildSatPlanes(int64_t generation,
+                                        ThreadPool* pool) {
+  const std::string prefix = GenerationPrefix(generation);
+  int64_t built = 0;
+  for (const std::string& key : store_->KeysWithPrefix(prefix)) {
+    if (key.compare(prefix.size(), 4, "sat/") == 0) continue;
+    // Frame keys are "<prefix>LL/TTTTTTTTTTTT".
+    const int layer = std::atoi(key.c_str() + prefix.size());
+    const int64_t t =
+        std::strtoll(key.c_str() + (key.size() - 12), nullptr, 10);
+    auto frame = GetFrameAt(generation, layer, t);
+    O4A_CHECK(frame.ok()) << frame.status().ToString();
+    SyncSatPlaneAt(generation, layer, t, BuildSatPlane(*frame, pool));
+    ++built;
+  }
+  return built;
+}
+
 bool PredictionStore::HasFrame(int layer, int64_t t) const {
   return HasFrameAt(0, layer, t);
 }
@@ -137,8 +217,21 @@ int64_t PredictionStore::DropFramesBelow(int64_t generation, int64_t min_t) {
 }
 
 int64_t PredictionStore::NumFramesAt(int64_t generation) const {
+  // Planes share the generation prefix (so reclamation drops them with
+  // their frames) but are derived data, not frames. One scan, not two
+  // counts — a difference of independently-locked counts could go
+  // negative under a concurrent staging writer.
+  const std::string prefix = GenerationPrefix(generation);
+  int64_t frames = 0;
+  for (const std::string& key : store_->KeysWithPrefix(prefix)) {
+    if (key.compare(prefix.size(), 4, "sat/") != 0) ++frames;
+  }
+  return frames;
+}
+
+int64_t PredictionStore::NumSatPlanesAt(int64_t generation) const {
   return static_cast<int64_t>(
-      store_->CountPrefix(GenerationPrefix(generation)));
+      store_->CountPrefix(SatPlanePrefix(generation)));
 }
 
 }  // namespace one4all

@@ -9,6 +9,13 @@
 // reader ever observes a half-synced timestep. Generation 0 is the
 // "static" generation the offline harness (MauPipeline) writes to; every
 // pre-existing call site keeps working unchanged against it.
+//
+// Each frame may carry a derived summed-area plane (tensor/prefix_sum.h)
+// under the same generation prefix, so the query layer's SAT fast path
+// answers rect sums in four reads. Plane keys live *inside* the
+// generation namespace on purpose: carry-forward copies and epoch
+// reclamation treat a plane exactly like its frame, which is what keeps a
+// pinned epoch's planes alive precisely as long as its frames.
 #ifndef ONE4ALL_KVSTORE_PREDICTION_STORE_H_
 #define ONE4ALL_KVSTORE_PREDICTION_STORE_H_
 
@@ -16,9 +23,12 @@
 #include <string>
 
 #include "kvstore/kvstore.h"
+#include "tensor/prefix_sum.h"
 #include "tensor/tensor.h"
 
 namespace one4all {
+
+class ThreadPool;
 
 /// \brief Typed facade over KvStore for per-layer prediction frames.
 class PredictionStore {
@@ -54,6 +64,25 @@ class PredictionStore {
   bool HasFrame(int layer, int64_t t) const;
   bool HasFrameAt(int64_t generation, int layer, int64_t t) const;
 
+  /// \brief Writes the summed-area plane of (generation, layer, t).
+  /// Epoch writers stage a frame's plane right after the frame itself,
+  /// into the same (still unpublished) generation.
+  void SyncSatPlaneAt(int64_t generation, int layer, int64_t t,
+                      const SatPlane& plane);
+
+  /// \brief Reads a summed-area plane back; NotFound when the frame was
+  /// synced without one (the query layer then falls back to summing the
+  /// frame directly).
+  Result<SatPlane> GetSatPlaneAt(int64_t generation, int layer,
+                                 int64_t t) const;
+
+  bool HasSatPlaneAt(int64_t generation, int layer, int64_t t) const;
+
+  /// \brief Builds and stores the summed-area plane of every frame in a
+  /// generation (offline harness: sync frames first, derive all planes
+  /// in one pass). Returns the number of planes built.
+  int64_t BuildSatPlanes(int64_t generation, ThreadPool* pool = nullptr);
+
   /// \brief Copies frames of `from` with t >= `min_t` into generation
   /// `to` (raw blob copy, no decode). The epoch manager's carry-forward:
   /// the shadow generation starts as a snapshot of the published one,
@@ -71,14 +100,25 @@ class PredictionStore {
   /// of frames dropped.
   int64_t DropFramesBelow(int64_t generation, int64_t min_t);
 
-  /// \brief Number of frames stored under a generation.
+  /// \brief Number of frames stored under a generation (summed-area
+  /// planes are derived data and not counted).
   int64_t NumFramesAt(int64_t generation) const;
+
+  /// \brief Number of summed-area planes stored under a generation.
+  int64_t NumSatPlanesAt(int64_t generation) const;
 
   /// \brief Key of (generation 0, layer, t).
   static std::string FrameKey(int layer, int64_t t);
   static std::string FrameKeyAt(int64_t generation, int layer, int64_t t);
+  /// \brief Key of the summed-area plane of (generation, layer, t);
+  /// sorts inside the generation prefix so CopyGeneration /
+  /// DropGeneration / DropFramesBelow handle planes alongside frames.
+  static std::string SatPlaneKeyAt(int64_t generation, int layer,
+                                   int64_t t);
   /// \brief Prefix covering every key of one generation.
   static std::string GenerationPrefix(int64_t generation);
+  /// \brief Prefix covering every summed-area plane of one generation.
+  static std::string SatPlanePrefix(int64_t generation);
 
  private:
   KvStore* store_;

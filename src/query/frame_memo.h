@@ -6,9 +6,10 @@
 #ifndef ONE4ALL_QUERY_FRAME_MEMO_H_
 #define ONE4ALL_QUERY_FRAME_MEMO_H_
 
+#include <algorithm>
 #include <functional>
-#include <map>
 #include <utility>
+#include <vector>
 
 #include "core/thread_pool.h"
 #include "kvstore/prediction_store.h"
@@ -20,6 +21,12 @@ namespace query_internal {
 
 /// \brief Per-worker memo of prediction frames: one GetFrame per
 /// (layer, t) instead of one per combination term.
+///
+/// A flat key-sorted vector, not a map: the memo holds a handful of
+/// frames (layers x timesteps of one worker chunk), so binary search
+/// over contiguous keys beats pointer-chasing map nodes, and inserting
+/// shifts only cheap moved Tensors — the node churn used to show up in
+/// the gather stage timings.
 class FrameMemo {
  public:
   FrameMemo(const PredictionStore* store, int64_t generation)
@@ -31,13 +38,17 @@ class FrameMemo {
                   double* value) {
     double acc = 0.0;
     for (const CombinationTerm& term : terms) {
-      const auto key = std::make_pair(term.grid.layer, t);
-      auto it = frames_.find(key);
-      if (it == frames_.end()) {
+      const Key key{term.grid.layer, t};
+      auto it = std::lower_bound(frames_.begin(), frames_.end(), key,
+                                 [](const Entry& e, const Key& k) {
+                                   return e.first < k;
+                                 });
+      if (it == frames_.end() || it->first != key) {
         Result<Tensor> frame =
             store_->GetFrameAt(generation_, term.grid.layer, t);
         O4A_RETURN_NOT_OK(frame.status());
-        it = frames_.emplace(key, frame.MoveValueUnsafe()).first;
+        it = frames_.insert(it,
+                            Entry{key, frame.MoveValueUnsafe()});
       }
       acc += static_cast<double>(term.sign) *
              it->second.at(term.grid.row, term.grid.col);
@@ -47,9 +58,12 @@ class FrameMemo {
   }
 
  private:
+  using Key = std::pair<int, int64_t>;
+  using Entry = std::pair<Key, Tensor>;
+
   const PredictionStore* store_;
   int64_t generation_;
-  std::map<std::pair<int, int64_t>, Tensor> frames_;
+  std::vector<Entry> frames_;  ///< key-ascending
 };
 
 /// \brief Runs `body(begin, end)` over [0, n) with the requested

@@ -1,9 +1,14 @@
 // Runs a compiled QueryPlan against a RegionQueryServer: a cache-probe /
 // resolve stage over the plan's distinct regions, an epoch-pinned gather
-// stage that reuses each resolution across every timestep it serves (with
-// the per-chunk frame memo), an aggregation fold (sum/mean/max) and an
-// optional top-k rank stage. Per-row failures surface as that row's
-// Status; stage wall times land in the structured QueryResult.
+// stage that reuses each resolution across every timestep it serves, an
+// aggregation fold (sum/mean/max) and an optional top-k rank stage. The
+// gather stage has two interpreters, selected by the plan's EvalPath:
+// the bit-exact per-term cell loop (per-chunk frame memo), and the SAT
+// fast path, which prefetches every (layer, t) frame/summed-area plane
+// the plan touches once and then answers rect-decomposed term groups
+// with four-corner plane reads plus a columnar residue sweep. Per-row
+// failures surface as that row's Status; stage wall times land in the
+// structured QueryResult.
 #ifndef ONE4ALL_QUERY_QUERY_EXECUTOR_H_
 #define ONE4ALL_QUERY_QUERY_EXECUTOR_H_
 

@@ -28,7 +28,10 @@ std::string QueryPlan::Describe() const {
   out << "  2. gather: " << rows.size()
       << (rows.size() == 1 ? " row" : " rows") << ", "
       << num_point_queries()
-      << " epoch-pinned frame gathers (per-chunk frame memo)\n";
+      << (path == EvalPath::kSatFastPath
+              ? " epoch-pinned gathers (SAT four-corner plane reads + "
+                "columnar residues, frames fetched once per plan)\n"
+              : " epoch-pinned frame gathers (per-chunk frame memo)\n");
   if (spec.kind == QuerySpecKind::kTopK) {
     out << "  3. aggregate+rank: " << TimeAggregationName(spec.aggregation)
         << " per row, top-" << spec.top_k << " by value desc\n";
@@ -56,6 +59,7 @@ Result<QueryPlan> QueryPlanner::Plan(QuerySpec spec) const {
 
   QueryPlan plan;
   plan.spec = std::move(spec);
+  plan.path = plan.spec.eval_path;
 
   // Dedup identical region masks by content fingerprint so a grouped
   // query resolves (and probes the cache for) each distinct region once.
@@ -88,6 +92,8 @@ Result<QueryPlan> QueryPlanner::PlanBatch(
   QueryPlan plan;
   plan.spec.kind = QuerySpecKind::kPointBatch;
   plan.spec.strategy = strategy;
+  // The legacy surface promises bit-exact values; never the SAT path.
+  plan.path = EvalPath::kExactCellLoop;
   plan.borrowed_regions.reserve(queries.size());
   plan.slot_regions.reserve(queries.size());
   plan.rows.reserve(queries.size());

@@ -31,6 +31,10 @@ struct PlanRow {
 /// (one per spec region, or one per legacy batch entry).
 struct QueryPlan {
   QuerySpec spec;
+  /// Term-evaluation path the executor runs. Spec shapes inherit
+  /// spec.eval_path; the legacy batch adapter always pins the exact
+  /// cell loop (BatchPredict's bit-exact arithmetic is contract).
+  EvalPath path = EvalPath::kExactCellLoop;
   /// Distinct regions to resolve, as indices into spec.regions. Spec
   /// shapes dedup identical masks so a grouped query probes the resolve
   /// cache once per distinct region; the legacy batch adapter keeps one

@@ -73,6 +73,10 @@ Result<ResolvedQuery> RegionQueryServer::Resolve(
     }
   }
   resolved.index_micros = timer.ElapsedMicros();
+
+  timer.Restart();
+  resolved.gather = CompileGatherProgram(resolved.terms, *hierarchy_);
+  resolved.compile_micros = timer.ElapsedMicros();
   return resolved;
 }
 

@@ -13,6 +13,7 @@
 #include "grid/decompose.h"
 #include "index/quadtree.h"
 #include "kvstore/prediction_store.h"
+#include "query/gather_program.h"
 #include "query/query_spec.h"
 
 namespace one4all {
@@ -23,9 +24,18 @@ class ThreadPool;          // core/thread_pool.h
 /// \brief A region query resolved to signed grid terms (time-independent).
 struct ResolvedQuery {
   std::vector<CombinationTerm> terms;
+  /// Compiled gather form of `terms` (SAT rect reads + columnar
+  /// residues), built once at resolve time so cache hits reuse the
+  /// compilation along with the resolution. The executor's
+  /// EvalPath::kSatFastPath interprets it; the exact cell loop ignores
+  /// it.
+  GatherProgram gather;
   int num_pieces = 0;
   double decompose_micros = 0.0;
   double index_micros = 0.0;
+  /// Time compiling `gather` (not part of the paper-sense response
+  /// time, which counts decomposition + index retrieval only).
+  double compile_micros = 0.0;
 };
 
 /// \brief Answer to one (region, time) prediction query.

@@ -29,6 +29,23 @@ enum class QueryStrategy {
 
 const char* QueryStrategyName(QueryStrategy strategy);
 
+/// \brief How the executor turns resolved terms into values.
+enum class EvalPath {
+  /// The PR-4 per-term loop: one signed frame read per combination term,
+  /// in term order. Bit-exact with the legacy Predict/BatchPredict
+  /// arithmetic — the regression-pinning reference, and the default.
+  kExactCellLoop,
+  /// The gather engine: rect-decomposable term groups collapse to
+  /// four-corner summed-area-plane reads (O(#rects) whatever their
+  /// area), irregular residues to a columnar offset sweep, with frames
+  /// and planes fetched once per plan. Matches the exact loop to ~1e-9
+  /// relative (double prefix-sum rounding), not bit-for-bit; falls back
+  /// to frame reads per rect when a generation carries no planes.
+  kSatFastPath,
+};
+
+const char* EvalPathName(EvalPath path);
+
 /// \brief The question shapes the query layer understands. The first four
 /// are the client-facing spec constructors; kPointBatch is the internal
 /// shape the legacy BatchPredict surface compiles to (arbitrary
@@ -85,6 +102,9 @@ struct QuerySpec {
   /// count at execution).
   int top_k = 0;
   QueryStrategy strategy = QueryStrategy::kUnionSubtraction;
+  /// Term-evaluation path. The default stays the bit-exact cell loop;
+  /// latency-sensitive callers opt into the SAT/columnar fast path.
+  EvalPath eval_path = EvalPath::kExactCellLoop;
   /// Keep the per-timestep value series in each result row (range
   /// shapes; costs 8 bytes per step per region).
   bool keep_series = false;

@@ -52,6 +52,16 @@ void FrameEpochManager::Staging::StageFrame(int layer, int64_t t,
                                             const Tensor& frame) {
   O4A_CHECK(valid());
   manager_->store_->SyncFrameAt(generation_, layer, t, frame);
+  if (manager_->options_.build_sat_planes) {
+    // Derived into the same still-unpublished shadow generation, so no
+    // reader can observe the plane before its epoch publishes.
+    manager_->store_->SyncSatPlaneAt(generation_, layer, t,
+                                     BuildSatPlane(frame));
+    if (manager_->telemetry_ != nullptr) {
+      manager_->telemetry_->sat_planes_built.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
   latest_t_ = std::max(latest_t_, t);
   if (manager_->telemetry_ != nullptr) {
     manager_->telemetry_->frames_staged.fetch_add(

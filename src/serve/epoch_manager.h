@@ -33,6 +33,12 @@ struct FrameEpochManagerOptions {
   /// horizon instead of growing with uptime. 0 carries the full served
   /// window forever.
   int64_t retain_timesteps = 0;
+  /// Derive the summed-area plane of every staged frame into the same
+  /// shadow generation (the query layer's SAT fast path reads them).
+  /// Staged with the frame and before Publish, so a pinned epoch either
+  /// has a frame's plane in full or (with this off) not at all — never a
+  /// torn one; carry-forward and reclamation treat planes like frames.
+  bool build_sat_planes = true;
 };
 
 /// \brief RAII pin on one published epoch. While alive, every frame of

@@ -17,7 +17,8 @@ ServingRuntime::ServingRuntime(const Hierarchy* hierarchy,
       options_(options),
       store_(&kv_),
       epochs_(&store_, &telemetry_,
-              FrameEpochManagerOptions{-1, options.retain_timesteps}),
+              FrameEpochManagerOptions{-1, options.retain_timesteps,
+                                       options.build_sat_planes}),
       cache_(options.cache) {
   O4A_CHECK(hierarchy != nullptr);
   O4A_CHECK(index != nullptr);

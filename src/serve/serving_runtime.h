@@ -39,6 +39,10 @@ struct ServingRuntimeOptions {
   /// then grow with uptime; continuous deployments should set a horizon
   /// sized to the timesteps their traffic actually queries.
   int64_t retain_timesteps = 0;
+  /// Stage a summed-area plane with every published frame (see
+  /// FrameEpochManagerOptions::build_sat_planes) so EvalPath::
+  /// kSatFastPath specs answer rect-decomposable regions in O(#rects).
+  bool build_sat_planes = true;
   ResolvedQueryCacheOptions cache;
   StreamIngestorOptions ingest;
 };

@@ -78,6 +78,8 @@ ServingTelemetrySnapshot ServingTelemetry::Snapshot() const {
   snap.epochs_published = epochs_published.load(std::memory_order_relaxed);
   snap.epochs_reclaimed = epochs_reclaimed.load(std::memory_order_relaxed);
   snap.frames_staged = frames_staged.load(std::memory_order_relaxed);
+  snap.sat_planes_built =
+      sat_planes_built.load(std::memory_order_relaxed);
   for (int k = 0; k < kNumQuerySpecKinds; ++k) {
     snap.specs_by_kind[static_cast<size_t>(k)] =
         specs_by_kind[static_cast<size_t>(k)].load(
@@ -100,6 +102,7 @@ void ServingTelemetry::Reset() {
   epochs_published.store(0, std::memory_order_relaxed);
   epochs_reclaimed.store(0, std::memory_order_relaxed);
   frames_staged.store(0, std::memory_order_relaxed);
+  sat_planes_built.store(0, std::memory_order_relaxed);
   for (auto& counter : specs_by_kind) {
     counter.store(0, std::memory_order_relaxed);
   }
@@ -120,6 +123,7 @@ TablePrinter ServingTelemetrySnapshot::Render(
   table.AddRow({"epochs published", std::to_string(epochs_published)});
   table.AddRow({"epochs reclaimed", std::to_string(epochs_reclaimed)});
   table.AddRow({"frames staged", std::to_string(frames_staged)});
+  table.AddRow({"SAT planes built", std::to_string(sat_planes_built)});
   table.AddSeparator();
   for (int k = 0; k < kNumQuerySpecKinds; ++k) {
     table.AddRow({std::string("specs ") +

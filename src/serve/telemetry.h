@@ -58,6 +58,7 @@ struct ServingTelemetrySnapshot {
   int64_t epochs_published = 0;
   int64_t epochs_reclaimed = 0;
   int64_t frames_staged = 0;
+  int64_t sat_planes_built = 0;  ///< summed-area planes staged with frames
   /// Executed specs by QuerySpecKind (point / range / multi-region /
   /// top-k / legacy batch), indexed by static_cast<int>(kind).
   std::array<int64_t, kNumQuerySpecKinds> specs_by_kind{};
@@ -95,6 +96,7 @@ class ServingTelemetry {
   std::atomic<int64_t> epochs_published{0};
   std::atomic<int64_t> epochs_reclaimed{0};
   std::atomic<int64_t> frames_staged{0};
+  std::atomic<int64_t> sat_planes_built{0};
   /// Executed specs by QuerySpecKind (legacy QueryBatch counts as
   /// kPointBatch), indexed by static_cast<int>(kind).
   std::array<std::atomic<int64_t>, kNumQuerySpecKinds> specs_by_kind{};

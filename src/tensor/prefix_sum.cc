@@ -1,0 +1,79 @@
+#include "tensor/prefix_sum.h"
+
+#include <algorithm>
+
+#include "core/thread_pool.h"
+#include "tensor/gemm.h"
+
+namespace one4all {
+
+namespace {
+
+// Below this many cells a frame is scanned sequentially: the two passes
+// touch each element once, so fan-out overhead dominates on the small
+// per-layer frames (a 32x32 raster is 1k cells).
+constexpr int64_t kParallelThresholdCells = 1 << 15;
+
+// Column-strip width of the vertical pass: 512 doubles (4 KiB) keeps a
+// strip's running row resident in L1 while sweeping down the rows.
+constexpr int64_t kColumnStrip = 512;
+
+}  // namespace
+
+SatPlane BuildSatPlane(const Tensor& frame, ThreadPool* pool) {
+  O4A_CHECK_EQ(frame.ndim(), 2u);
+  const int64_t h = frame.dim(0);
+  const int64_t w = frame.dim(1);
+  SatPlane plane(h, w);
+  if (h == 0 || w == 0) return plane;
+
+  const int64_t stride = w + 1;
+  const float* src = frame.data();
+  double* dst = plane.data();
+
+  ThreadPool* resolved =
+      h * w >= kParallelThresholdCells ? ResolveComputePool(pool) : nullptr;
+
+  // Pass 1: row-local horizontal prefix sums. Rows are independent, so
+  // they split freely across workers; row 0 of the plane stays zero.
+  const auto horizontal = [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const float* in = src + r * w;
+      double* out = dst + (r + 1) * stride;
+      double running = 0.0;
+      out[0] = 0.0;
+      for (int64_t c = 0; c < w; ++c) {
+        running += static_cast<double>(in[c]);
+        out[c + 1] = running;
+      }
+    }
+  };
+
+  // Pass 2: vertical accumulation down the rows. Columns are independent
+  // (each only reads the row above itself), so the plane splits into
+  // column strips; within a strip the row-outer/column-inner order keeps
+  // every access contiguous.
+  const int64_t num_strips = (w + kColumnStrip - 1) / kColumnStrip;
+  const auto vertical = [&](int64_t begin, int64_t end) {
+    for (int64_t s = begin; s < end; ++s) {
+      const int64_t c0 = 1 + s * kColumnStrip;
+      const int64_t c1 = std::min<int64_t>(w + 1, c0 + kColumnStrip);
+      for (int64_t r = 1; r <= h; ++r) {
+        const double* above = dst + (r - 1) * stride;
+        double* row = dst + r * stride;
+        for (int64_t c = c0; c < c1; ++c) row[c] += above[c];
+      }
+    }
+  };
+
+  if (resolved != nullptr) {
+    resolved->ParallelFor(h, horizontal);
+    resolved->ParallelFor(num_strips, vertical);
+  } else {
+    horizontal(0, h);
+    vertical(0, num_strips);
+  }
+  return plane;
+}
+
+}  // namespace one4all

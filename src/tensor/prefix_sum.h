@@ -1,0 +1,81 @@
+// Blocked, multi-threaded inclusive 2-D prefix sums over prediction
+// frames: the summed-area-table (SAT) substrate of the region-gather fast
+// path. A SatPlane of a [H, W] frame stores S[r][c] = sum of the frame
+// over [0, r) x [0, c) in double precision (one zero border row/column),
+// so the sum over any axis-aligned rectangle collapses to four corner
+// reads whatever its area — the classic data-cube trick the query layer
+// uses to answer rect-decomposable regions in O(#rects).
+//
+// Planes are built once per published frame (epoch staging / offline
+// sync) and read many times per query, so the builder is a two-pass
+// blocked kernel: a row-parallel horizontal scan followed by a
+// column-strip-parallel vertical accumulation, fanned out over the
+// ambient compute pool like the SGEMM row blocks (tensor/gemm.h).
+#ifndef ONE4ALL_TENSOR_PREFIX_SUM_H_
+#define ONE4ALL_TENSOR_PREFIX_SUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/logging.h"
+#include "tensor/tensor.h"
+
+namespace one4all {
+
+class ThreadPool;
+
+/// \brief Inclusive 2-D prefix-sum plane of one [H, W] frame, stored as
+/// (H+1) x (W+1) doubles with a zero top row and left column.
+///
+/// Double precision is load-bearing: four-corner rect sums subtract
+/// near-equal partial sums, and float planes would lose the 1e-9
+/// relative agreement with the exact per-cell loop that the regression
+/// tests pin.
+class SatPlane {
+ public:
+  SatPlane() = default;
+  /// \brief Zero-filled plane for an `h` x `w` frame.
+  SatPlane(int64_t h, int64_t w)
+      : h_(h), w_(w),
+        data_(static_cast<size_t>((h + 1) * (w + 1)), 0.0) {}
+
+  int64_t height() const { return h_; }
+  int64_t width() const { return w_; }
+  bool empty() const { return data_.empty(); }
+
+  /// \brief Raw (H+1) x (W+1) row-major plane; row stride is width()+1.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  /// \brief Prefix entry S[r][c] = sum over [0, r) x [0, c).
+  double at(int64_t r, int64_t c) const {
+    O4A_DCHECK(r >= 0 && r <= h_ && c >= 0 && c <= w_);
+    return data_[static_cast<size_t>(r * (w_ + 1) + c)];
+  }
+
+  /// \brief Sum of the frame over the half-open rectangle
+  /// [r0, r1) x [c0, c1): four corner reads, any area.
+  double RectSum(int64_t r0, int64_t c0, int64_t r1, int64_t c1) const {
+    O4A_DCHECK(r0 >= 0 && c0 >= 0 && r1 <= h_ && c1 <= w_);
+    O4A_DCHECK(r0 <= r1 && c0 <= c1);
+    const int64_t stride = w_ + 1;
+    const double* top = data_.data() + r0 * stride;
+    const double* bottom = data_.data() + r1 * stride;
+    return (bottom[c1] - bottom[c0]) - (top[c1] - top[c0]);
+  }
+
+ private:
+  int64_t h_ = 0, w_ = 0;
+  std::vector<double> data_;
+};
+
+/// \brief Builds the SAT plane of a 2-D [H, W] frame. `pool` splits the
+/// horizontal scan over row blocks and the vertical accumulation over
+/// column strips (ambient ScopedComputePool when null, sequential when
+/// none is installed or the frame is too small to pay fan-out overhead).
+SatPlane BuildSatPlane(const Tensor& frame, ThreadPool* pool = nullptr);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_TENSOR_PREFIX_SUM_H_
