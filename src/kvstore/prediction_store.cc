@@ -46,8 +46,39 @@ void PredictionStore::SyncFrame(int layer, int64_t t, const Tensor& frame) {
   SyncFrameAt(0, layer, t, frame);
 }
 
+void PredictionStore::SetWriteFault(Status fault) {
+  O4A_CHECK(!fault.ok()) << "a write fault must be an error Status";
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    fault_ = std::move(fault);
+  }
+  fault_active_.store(true, std::memory_order_release);
+}
+
+void PredictionStore::ClearWriteFault() {
+  fault_active_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_ = Status::OK();
+}
+
+Status PredictionStore::WriteFault() const {
+  if (!fault_active_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  // A Clear between the flag load and the lock leaves fault_ OK, which
+  // is exactly the right answer then.
+  return fault_;
+}
+
 void PredictionStore::SyncFrameAt(int64_t generation, int layer, int64_t t,
                                   const Tensor& frame) {
+  const Status status = TrySyncFrameAt(generation, layer, t, frame);
+  O4A_CHECK(status.ok()) << "prediction store refused frame write: "
+                         << status.ToString();
+}
+
+Status PredictionStore::TrySyncFrameAt(int64_t generation, int layer,
+                                       int64_t t, const Tensor& frame) {
+  O4A_RETURN_NOT_OK(WriteFault());
   O4A_CHECK_EQ(frame.ndim(), 2u);
   // A frame write invalidates its derived plane: without this, a writer
   // that overwrites a carried-forward frame (e.g. a re-staged timestep
@@ -64,6 +95,7 @@ void PredictionStore::SyncFrameAt(int64_t generation, int layer, int64_t t,
   std::memcpy(blob.data() + 8, frame.data(),
               sizeof(float) * static_cast<size_t>(frame.numel()));
   store_->Put(FrameKeyAt(generation, layer, t), std::move(blob));
+  return Status::OK();
 }
 
 Result<Tensor> PredictionStore::GetFrame(int layer, int64_t t) const {
@@ -114,6 +146,14 @@ Result<float> PredictionStore::TryGetValueAt(int64_t generation, int layer,
 
 void PredictionStore::SyncSatPlaneAt(int64_t generation, int layer,
                                      int64_t t, const SatPlane& plane) {
+  const Status status = TrySyncSatPlaneAt(generation, layer, t, plane);
+  O4A_CHECK(status.ok()) << "prediction store refused plane write: "
+                         << status.ToString();
+}
+
+Status PredictionStore::TrySyncSatPlaneAt(int64_t generation, int layer,
+                                          int64_t t, const SatPlane& plane) {
+  O4A_RETURN_NOT_OK(WriteFault());
   const int32_t h = static_cast<int32_t>(plane.height());
   const int32_t w = static_cast<int32_t>(plane.width());
   std::string blob;
@@ -123,6 +163,7 @@ void PredictionStore::SyncSatPlaneAt(int64_t generation, int layer,
   std::memcpy(blob.data() + 8, plane.data(),
               sizeof(double) * static_cast<size_t>(plane.numel()));
   store_->Put(SatPlaneKeyAt(generation, layer, t), std::move(blob));
+  return Status::OK();
 }
 
 Result<SatPlane> PredictionStore::GetSatPlaneAt(int64_t generation,

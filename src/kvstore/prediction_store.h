@@ -19,9 +19,12 @@
 #ifndef ONE4ALL_KVSTORE_PREDICTION_STORE_H_
 #define ONE4ALL_KVSTORE_PREDICTION_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
+#include "core/status.h"
 #include "kvstore/kvstore.h"
 #include "tensor/prefix_sum.h"
 #include "tensor/tensor.h"
@@ -35,14 +38,27 @@ class PredictionStore {
  public:
   explicit PredictionStore(KvStore* store) : store_(store) {}
 
+  PredictionStore(const PredictionStore&) = delete;
+  PredictionStore& operator=(const PredictionStore&) = delete;
+
   /// \brief Writes the prediction frame [Hl, Wl] of (layer, t) into
   /// generation 0.
   void SyncFrame(int layer, int64_t t, const Tensor& frame);
 
   /// \brief Writes a frame into an explicit generation. Serving writers
   /// stage whole epochs this way before publishing them atomically.
+  /// Dies under an injected write fault — offline-harness convenience
+  /// only; fault-tolerant writers use TrySyncFrameAt.
   void SyncFrameAt(int64_t generation, int layer, int64_t t,
                    const Tensor& frame);
+
+  /// \brief Non-fatal frame write: returns the injected fault Status
+  /// while SetWriteFault is active (the store-refuses-writes seam the
+  /// scenario harness drives), OK and the write otherwise. The epoch
+  /// staging path routes through this so an unwritable store surfaces
+  /// as an aborted epoch, never a crash or a torn publish.
+  Status TrySyncFrameAt(int64_t generation, int layer, int64_t t,
+                        const Tensor& frame);
 
   /// \brief Reads a full frame back from generation 0.
   Result<Tensor> GetFrame(int layer, int64_t t) const;
@@ -66,9 +82,15 @@ class PredictionStore {
 
   /// \brief Writes the summed-area plane of (generation, layer, t).
   /// Epoch writers stage a frame's plane right after the frame itself,
-  /// into the same (still unpublished) generation.
+  /// into the same (still unpublished) generation. Dies under an
+  /// injected write fault; see TrySyncSatPlaneAt.
   void SyncSatPlaneAt(int64_t generation, int layer, int64_t t,
                       const SatPlane& plane);
+
+  /// \brief Non-fatal plane write; same fault contract as
+  /// TrySyncFrameAt.
+  Status TrySyncSatPlaneAt(int64_t generation, int layer, int64_t t,
+                           const SatPlane& plane);
 
   /// \brief Reads a summed-area plane back; NotFound when the frame was
   /// synced without one (the query layer then falls back to summing the
@@ -120,8 +142,28 @@ class PredictionStore {
   /// \brief Prefix covering every summed-area plane of one generation.
   static std::string SatPlanePrefix(int64_t generation);
 
+  /// \brief Injects a write fault: every TrySync* call returns `fault`
+  /// (and every fatal Sync* dies) until ClearWriteFault. `fault` must be
+  /// an error. Models a store that stopped accepting writes (full disk,
+  /// lost quorum); reads are deliberately unaffected — the published
+  /// epoch keeps serving while the writer absorbs failures.
+  void SetWriteFault(Status fault);
+  void ClearWriteFault();
+  bool write_fault_active() const {
+    return fault_active_.load(std::memory_order_acquire);
+  }
+
  private:
+  /// \brief The injected fault Status, or OK when writes are healthy.
+  Status WriteFault() const;
+
   KvStore* store_;
+
+  // Write-fault seam: flag checked on the hot path (one relaxed load),
+  // Status only locked when a fault is actually set or read.
+  std::atomic<bool> fault_active_{false};
+  mutable std::mutex fault_mu_;
+  Status fault_;
 };
 
 }  // namespace one4all

@@ -1,0 +1,33 @@
+// The spec-driven workload engine: builds a synthetic serving world from
+// a ScenarioSpec, drives a real ServingRuntime (background ingest thread,
+// MVCC epochs, admission control) along a virtual tick clock, injects the
+// spec's faults through the runtime's seams, checks every answered row
+// against the ground-truth oracle, and returns a ScenarioVerdict.
+//
+// Determinism contract: the engine grants the ingestor exactly one
+// publish attempt per cadence tick (StreamIngestorOptions::
+// manual_stepping) and waits for it to complete before issuing that
+// tick's arrivals, and all queries execute synchronously on the engine
+// thread from one seeded Rng. Epoch progression, every counter and every
+// invariant are therefore pure functions of (spec, seed) — two runs of
+// the same scenario produce byte-identical canonical verdicts — while
+// the ingestor still runs as a real thread (so the fault seams and the
+// publish/query interleaving stay honest under TSan).
+#ifndef ONE4ALL_SCENARIO_SCENARIO_ENGINE_H_
+#define ONE4ALL_SCENARIO_SCENARIO_ENGINE_H_
+
+#include "core/status.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/verdict.h"
+
+namespace one4all {
+
+/// \brief Runs one scenario end to end. Errors are setup problems (a
+/// spec the world cannot host, e.g. more ingest steps than test slots);
+/// runtime misbehavior never errors — it lands in the verdict's
+/// invariant checks so the golden matrix can pin it.
+Result<ScenarioVerdict> RunScenario(const ScenarioSpec& spec);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_SCENARIO_SCENARIO_ENGINE_H_

@@ -1,0 +1,305 @@
+#include "scenario/scenario_json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace one4all {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const char* JsonValue::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    O4A_RETURN_NOT_OK(ParseValue(&root));
+    SkipWhitespace();
+    if (pos_ < text_.size()) {
+      return Error("trailing content after the top-level value");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("line " + std::to_string(line_) +
+                                   ", column " + std::to_string(column_) +
+                                   ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        column_ = 1;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++column_;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status Expect(char want, const char* context) {
+    SkipWhitespace();
+    if (AtEnd() || Peek() != want) {
+      return Error(std::string("expected '") + want + "' " + context);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of input");
+    out->line = line_;
+    out->column = column_;
+    const char c = Peek();
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    Advance();  // '{'
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      Advance();
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Error("expected a quoted object key");
+      }
+      const int key_line = line_;
+      const int key_column = column_;
+      std::string key;
+      O4A_RETURN_NOT_OK(ParseString(&key));
+      if (out->Find(key) != nullptr) {
+        line_ = key_line;
+        column_ = key_column;
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      O4A_RETURN_NOT_OK(Expect(':', "after object key"));
+      JsonValue value;
+      O4A_RETURN_NOT_OK(ParseValue(&value));
+      // A member value keeps its own position; the key position is more
+      // useful for unknown-key diagnostics, so record that instead.
+      value.line = key_line;
+      value.column = key_column;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      if (Peek() == '}') {
+        Advance();
+        return Status::OK();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    Advance();  // '['
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      Advance();
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue item;
+      O4A_RETURN_NOT_OK(ParseValue(&item));
+      out->items.push_back(std::move(item));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      if (Peek() == ']') {
+        Advance();
+        return Status::OK();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    Advance();  // opening '"'
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = Advance();
+      if (c == '"') return Status::OK();
+      if (c == '\n') return Error("raw newline inside string");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape sequence");
+      c = Advance();
+      switch (c) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // Scenario specs are ASCII in practice; decode BMP escapes to
+          // UTF-8 so names round-trip, reject surrogates as unsupported.
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Error("bad \\u escape (want 4 hex digits)");
+            }
+            const char h = Advance();
+            code = code * 16 +
+                   static_cast<unsigned>(h <= '9'   ? h - '0'
+                                         : h <= 'F' ? h - 'A' + 10
+                                                    : h - 'a' + 10);
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Error("surrogate-pair escapes are not supported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error(std::string("unknown escape '\\") + c + "'");
+      }
+    }
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    static const struct {
+      const char* word;
+      JsonValue::Kind kind;
+      bool value;
+    } kKeywords[] = {
+        {"true", JsonValue::Kind::kBool, true},
+        {"false", JsonValue::Kind::kBool, false},
+        {"null", JsonValue::Kind::kNull, false},
+    };
+    for (const auto& kw : kKeywords) {
+      const size_t len = std::string(kw.word).size();
+      if (text_.compare(pos_, len, kw.word) == 0) {
+        for (size_t i = 0; i < len; ++i) Advance();
+        out->kind = kw.kind;
+        out->bool_value = kw.value;
+        return Status::OK();
+      }
+    }
+    return Error("unknown literal (expected true, false or null)");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    bool integral = true;
+    if (!AtEnd() && Peek() == '-') Advance();
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') Advance();
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      Advance();
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') Advance();
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      Advance();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Advance();
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') Advance();
+    }
+    const std::string literal = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(literal.c_str(), &end);
+    if (end == literal.c_str() || *end != '\0' || !std::isfinite(out->number)) {
+      return Error("malformed number \"" + literal + "\"");
+    }
+    if (integral) {
+      errno = 0;
+      const long long v = std::strtoll(literal.c_str(), &end, 10);
+      if (errno == 0 && *end == '\0') {
+        out->number_is_integer = true;
+        out->integer = static_cast<int64_t>(v);
+      }
+    }
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace one4all

@@ -1,0 +1,62 @@
+// Minimal JSON reader for the declarative scenario harness. Parses the
+// full JSON grammar (objects, arrays, strings with escapes, numbers,
+// bool, null) into an ordered DOM whose every value remembers the source
+// line/column it started on, so schema validation in scenario_spec.cc
+// can point at the offending line of a spec file instead of saying
+// "invalid scenario". Deliberately tiny: no external dependency, no
+// streaming, no writer (verdicts serialize themselves canonically in
+// verdict.cc so golden files are byte-stable).
+#ifndef ONE4ALL_SCENARIO_SCENARIO_JSON_H_
+#define ONE4ALL_SCENARIO_SCENARIO_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace one4all {
+
+/// \brief One parsed JSON value. Object members keep file order (and are
+/// rejected on duplicate keys at parse time), which is what lets the
+/// schema layer report unknown keys at their own line.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  /// True when the literal had no fraction/exponent part and fits an
+  /// int64 exactly — GetInt validation in the schema layer keys off this.
+  bool number_is_integer = false;
+  int64_t integer = 0;
+  std::string string_value;
+  std::vector<JsonValue> items;  ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  /// 1-based source position of the value's first character.
+  int line = 0;
+  int column = 0;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// \brief Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static const char* KindName(Kind kind);
+};
+
+/// \brief Parses `text` into a DOM. Errors are InvalidArgument with a
+/// "line L, column C: message" prefix; trailing garbage after the top-
+/// level value is an error too.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_SCENARIO_SCENARIO_JSON_H_

@@ -1,0 +1,84 @@
+// Verdict record of one scenario run: per-shape outcome counters,
+// epoch-staleness bounds, invariant checks, publish/fault accounting,
+// plus advisory latency percentiles. The canonical JSON form is what
+// golden files pin — it contains only counters, integer bounds and
+// booleans (never timings or float checksums), so the same spec + seed
+// serializes byte-identically on every run, compiler and machine.
+#ifndef ONE4ALL_SCENARIO_VERDICT_H_
+#define ONE4ALL_SCENARIO_VERDICT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/table_printer.h"
+#include "query/query_spec.h"
+
+namespace one4all {
+
+/// \brief Outcome counts for one query shape.
+struct ShapeOutcome {
+  int64_t issued = 0;    ///< specs of this shape fired at the runtime
+  int64_t ok = 0;        ///< spec accepted and every row answered OK
+  int64_t failed = 0;    ///< spec accepted but >= 1 row errored
+  int64_t rejected = 0;  ///< refused by admission control
+};
+
+/// \brief Named invariant result; `held` false fails the scenario.
+struct InvariantCheck {
+  std::string name;
+  bool held = true;
+  std::string detail;  ///< filled when violated (first offending case)
+};
+
+/// \brief Everything one scenario run asserts and reports.
+struct ScenarioVerdict {
+  std::string scenario;
+  uint64_t seed = 0;
+
+  /// Indexed by static_cast<int>(QuerySpecKind).
+  std::array<ShapeOutcome, kNumQuerySpecKinds> shapes{};
+
+  int64_t rows_ok = 0;
+  int64_t rows_failed = 0;
+  /// Rows whose value disagreed with the ground-truth oracle beyond 1e-3
+  /// relative — the torn-read detector.
+  int64_t value_mismatches = 0;
+  /// Top-k results whose ranking disagreed with the oracle's.
+  int64_t rank_mismatches = 0;
+
+  /// Epoch staleness of each answered query: published_latest_t at issue
+  /// time minus the queried timestep (a future-t probe is negative and
+  /// expected to fail with NotFound, so only answered rows count here).
+  /// No answered rows leaves the sentinel pair below.
+  int64_t staleness_min = 0;
+  int64_t staleness_max = -1;  ///< min > max <=> no staleness samples
+
+  int64_t epochs_published = 0;
+  int64_t epochs_reclaimed = 0;
+  int64_t publish_attempts = 0;
+  int64_t publish_failures = 0;  ///< store write refusals absorbed
+
+  std::vector<InvariantCheck> invariants;
+
+  // --- Advisory (excluded from CanonicalJson; varies run to run) ---
+  double query_p50_micros = 0.0;
+  double query_p99_micros = 0.0;
+  double wall_ms = 0.0;
+
+  /// \brief True iff every invariant held.
+  bool passed() const;
+
+  /// \brief Deterministic golden form: fixed key order, counters /
+  /// integer bounds / booleans only, 2-space indent, trailing newline.
+  std::string CanonicalJson() const;
+
+  /// \brief Operator-facing table with the advisory latency rows the
+  /// canonical form deliberately omits.
+  TablePrinter Render() const;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_SCENARIO_VERDICT_H_

@@ -1,0 +1,74 @@
+#include "scenario/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.h"
+
+namespace one4all {
+
+ZipfSampler::ZipfSampler(int64_t n, double exponent) {
+  O4A_CHECK(n > 0) << "ZipfSampler needs a non-empty population";
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[static_cast<size_t>(i)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding shortfall
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+std::vector<int64_t> RankRegionsByHotspotOverlap(
+    const std::vector<GridMask>& regions,
+    const std::vector<std::array<int64_t, 4>>& hotspot_rects, int64_t grid_h,
+    int64_t grid_w) {
+  std::vector<int64_t> order(regions.size());
+  std::iota(order.begin(), order.end(), int64_t{0});
+  if (hotspot_rects.empty()) return order;
+
+  GridMask hot(grid_h, grid_w);
+  for (const auto& rect : hotspot_rects) {
+    hot.FillRect(std::min(rect[0], grid_h), std::min(rect[1], grid_w),
+                 std::min(rect[2], grid_h), std::min(rect[3], grid_w));
+  }
+  std::vector<int64_t> overlap(regions.size(), 0);
+  for (size_t i = 0; i < regions.size(); ++i) {
+    overlap[i] = regions[i].Intersect(hot).Count();
+  }
+  // stable_sort keeps generator order within an overlap class, which is
+  // what makes the ranking (and thus the whole workload) deterministic.
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return overlap[static_cast<size_t>(a)] > overlap[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+double BurstMultiplierAt(const ScenarioArrival& arrival, int64_t tick) {
+  double multiplier = 1.0;
+  for (const ScenarioBurst& burst : arrival.bursts) {
+    if (tick >= burst.start_tick && tick < burst.end_tick) {
+      multiplier *= burst.multiplier;
+    }
+  }
+  return multiplier;
+}
+
+int64_t ArrivalsAtTick(const ScenarioArrival& arrival, int64_t tick,
+                       Rng* rng) {
+  if (arrival.mode == ScenarioArrival::Mode::kClosed) {
+    return arrival.clients;
+  }
+  const double mean = arrival.rate_per_tick * BurstMultiplierAt(arrival, tick);
+  if (mean <= 0.0) return 0;
+  return rng->Poisson(mean);
+}
+
+}  // namespace one4all

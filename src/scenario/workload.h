@@ -1,0 +1,55 @@
+// Workload sampling for the scenario engine: Zipf popularity over regions
+// ranked by hotspot overlap, and the arrival process over virtual ticks
+// (deterministic Poisson open loop / fixed-client closed loop, with
+// flash-crowd burst windows). Everything here is pure + seeded — the same
+// spec and seed always produce the same query stream.
+#ifndef ONE4ALL_SCENARIO_WORKLOAD_H_
+#define ONE4ALL_SCENARIO_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "grid/mask.h"
+#include "scenario/scenario_spec.h"
+
+namespace one4all {
+
+/// \brief Samples indices in [0, n) with P(rank i) proportional to
+/// 1 / (i + 1)^s via inverse-CDF lookup. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double exponent);
+
+  /// \brief Draws one rank (0 = most popular).
+  int64_t Sample(Rng* rng) const;
+
+  int64_t size() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  ///< inclusive prefix of normalized weights
+};
+
+/// \brief Ranks region indices by overlap (in cells) with the hotspot
+/// rects, descending; ties and the no-rect case fall back to the original
+/// generator order. The returned vector is the popularity order the Zipf
+/// sampler draws ranks against: result[0] is the hottest region.
+std::vector<int64_t> RankRegionsByHotspotOverlap(
+    const std::vector<GridMask>& regions,
+    const std::vector<std::array<int64_t, 4>>& hotspot_rects, int64_t grid_h,
+    int64_t grid_w);
+
+/// \brief Effective arrival-rate multiplier at `tick`: the product of all
+/// burst windows covering it (1.0 outside every window).
+double BurstMultiplierAt(const ScenarioArrival& arrival, int64_t tick);
+
+/// \brief Number of query arrivals at `tick`: Poisson(rate x multiplier)
+/// for the open loop, `clients` for the closed loop (each virtual client
+/// issues exactly one query per tick — queries execute synchronously on
+/// the virtual clock, so a client is always ready again next tick).
+int64_t ArrivalsAtTick(const ScenarioArrival& arrival, int64_t tick,
+                       Rng* rng);
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_SCENARIO_WORKLOAD_H_

@@ -50,13 +50,22 @@ void FrameEpochManager::Staging::AbortSelf() {
 
 void FrameEpochManager::Staging::StageFrame(int layer, int64_t t,
                                             const Tensor& frame) {
+  const Status status = TryStageFrame(layer, t, frame);
+  O4A_CHECK(status.ok()) << "epoch staging failed: " << status.ToString();
+}
+
+Status FrameEpochManager::Staging::TryStageFrame(int layer, int64_t t,
+                                                 const Tensor& frame) {
   O4A_CHECK(valid());
-  manager_->store_->SyncFrameAt(generation_, layer, t, frame);
+  O4A_RETURN_NOT_OK(
+      manager_->store_->TrySyncFrameAt(generation_, layer, t, frame));
   if (manager_->options_.build_sat_planes) {
     // Derived into the same still-unpublished shadow generation, so no
-    // reader can observe the plane before its epoch publishes.
-    manager_->store_->SyncSatPlaneAt(generation_, layer, t,
-                                     BuildSatPlane(frame));
+    // reader can observe the plane before its epoch publishes. A refusal
+    // here leaves the frame without its plane — fine, because the only
+    // recovery is aborting the staging, which drops both.
+    O4A_RETURN_NOT_OK(manager_->store_->TrySyncSatPlaneAt(
+        generation_, layer, t, BuildSatPlane(frame)));
     if (manager_->telemetry_ != nullptr) {
       manager_->telemetry_->sat_planes_built.fetch_add(
           1, std::memory_order_relaxed);
@@ -67,6 +76,7 @@ void FrameEpochManager::Staging::StageFrame(int layer, int64_t t,
     manager_->telemetry_->frames_staged.fetch_add(
         1, std::memory_order_relaxed);
   }
+  return Status::OK();
 }
 
 // -- FrameEpochManager ------------------------------------------------------

@@ -118,8 +118,16 @@ class FrameEpochManager {
     bool valid() const { return manager_ != nullptr; }
     int64_t generation() const { return generation_; }
 
-    /// \brief Writes one frame into the shadow generation.
+    /// \brief Writes one frame into the shadow generation. Dies if the
+    /// store refuses the write; fault-tolerant writers use TryStageFrame.
     void StageFrame(int layer, int64_t t, const Tensor& frame);
+
+    /// \brief Non-fatal staging: surfaces a store write refusal as its
+    /// Status instead of dying. On failure the shadow generation may
+    /// hold a partial frame set — the caller must Abort (or drop) the
+    /// staging, which deletes everything staged so far; since the
+    /// generation was never published, no reader can have observed it.
+    Status TryStageFrame(int layer, int64_t t, const Tensor& frame);
 
    private:
     friend class FrameEpochManager;

@@ -105,6 +105,9 @@ class ServingRuntime {
   ResolvedQueryCache& cache() { return cache_; }
   FrameEpochManager& epochs() { return epochs_; }
   StreamIngestor& ingestor() { return *ingestor_; }
+  /// \brief The backing prediction store — exposed for fault injection
+  /// (SetWriteFault) and storage assertions in tests/scenarios.
+  PredictionStore& store() { return store_; }
   const ServingRuntimeOptions& options() const { return options_; }
 
  private:

@@ -141,8 +141,12 @@ void StreamIngestor::Start() {
     std::lock_guard<std::mutex> lock(mu_);
     published_latest_t_ = -1;
     steps_published_ = 0;
+    steps_attempted_ = 0;
+    paused_ = false;
+    step_permits_ = 0;
     done_ = false;
     status_ = Status::OK();
+    last_publish_error_ = Status::OK();
   }
   stop_requested_.store(false);
   thread_ = std::thread([this] { Run(); });
@@ -150,7 +154,37 @@ void StreamIngestor::Start() {
 
 void StreamIngestor::Stop() {
   stop_requested_.store(true);
+  control_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+}
+
+void StreamIngestor::Pause() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+  control_cv_.notify_all();
+}
+
+void StreamIngestor::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  control_cv_.notify_all();
+}
+
+bool StreamIngestor::paused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paused_;
+}
+
+void StreamIngestor::GrantSteps(int64_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    step_permits_ += n;
+  }
+  control_cv_.notify_all();
 }
 
 bool StreamIngestor::WaitUntilPublished(int64_t t) {
@@ -159,6 +193,12 @@ bool StreamIngestor::WaitUntilPublished(int64_t t) {
     return published_latest_t_ >= t || done_;
   });
   return published_latest_t_ >= t;
+}
+
+bool StreamIngestor::WaitUntilAttempted(int64_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  progress_cv_.wait(lock, [&] { return steps_attempted_ >= n || done_; });
+  return steps_attempted_ >= n;
 }
 
 void StreamIngestor::WaitUntilDone() {
@@ -176,9 +216,31 @@ int64_t StreamIngestor::steps_published() const {
   return steps_published_;
 }
 
+int64_t StreamIngestor::steps_attempted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steps_attempted_;
+}
+
 Status StreamIngestor::status() const {
   std::lock_guard<std::mutex> lock(mu_);
   return status_;
+}
+
+Status StreamIngestor::last_publish_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_publish_error_;
+}
+
+bool StreamIngestor::AwaitStepClearance() {
+  std::unique_lock<std::mutex> lock(mu_);
+  control_cv_.wait(lock, [&] {
+    if (stop_requested_.load(std::memory_order_relaxed)) return true;
+    if (paused_) return false;
+    return !options_.manual_stepping || step_permits_ > 0;
+  });
+  if (stop_requested_.load(std::memory_order_relaxed)) return false;
+  if (options_.manual_stepping) --step_permits_;
+  return true;
 }
 
 void StreamIngestor::Run() {
@@ -195,11 +257,17 @@ void StreamIngestor::Run() {
   }
 
   auto next_publish = std::chrono::steady_clock::now();
-  for (int64_t step = 0; step < options_.num_timesteps; ++step) {
-    if (stop_requested_.load(std::memory_order_relaxed)) break;
+  int64_t step = 0;
+  while (step < options_.num_timesteps) {
+    // Clearance gates each publish *attempt*: the pause seam (stalled-
+    // publisher fault) and, under manual stepping, the permit budget the
+    // scenario clock hands out. A refused write below retries the same
+    // timestep, so every retry costs a fresh clearance too.
+    if (!AwaitStepClearance()) break;
     const int64_t t = options_.start_t + step;
 
-    // One observation arrives...
+    // One observation arrives... (Push overwrites idempotently, so the
+    // re-push on a retried timestep is harmless.)
     window.Push(t, dataset_->FrameAtLayer(t, 1));
     auto input = window.AssembleInput(t);
     if (!input.ok()) {
@@ -215,30 +283,58 @@ void StreamIngestor::Run() {
       break;
     }
 
-    // ...which becomes one atomically-published epoch.
+    // ...which becomes one atomically-published epoch. A store write
+    // refusal is absorbed, not fatal: the half-staged shadow generation
+    // is dropped whole (readers never saw it), the failure is counted,
+    // and the same timestep is retried on the next clearance.
     Stopwatch publish_timer;
-    FrameEpochManager::Staging staging =
-        epochs_->BeginEpoch(options_.carry_forward);
-    for (size_t i = 0; i < frames->size(); ++i) {
-      staging.StageFrame(static_cast<int>(i) + 1, t,
-                         (*frames)[i]);
-    }
-    epochs_->Publish(std::move(staging));
-    if (telemetry_ != nullptr) {
-      telemetry_->publish_latency.Record(publish_timer.ElapsedMicros());
-    }
-
+    Status publish_status;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      published_latest_t_ = t;
-      ++steps_published_;
+      FrameEpochManager::Staging staging =
+          epochs_->BeginEpoch(options_.carry_forward);
+      for (size_t i = 0; i < frames->size() && publish_status.ok(); ++i) {
+        publish_status =
+            staging.TryStageFrame(static_cast<int>(i) + 1, t, (*frames)[i]);
+      }
+      if (publish_status.ok()) {
+        epochs_->Publish(std::move(staging));
+      }
+      // else: `staging` aborts itself going out of scope.
     }
-    progress_cv_.notify_all();
 
-    if (options_.min_publish_interval_ms > 0) {
-      next_publish +=
-          std::chrono::milliseconds(options_.min_publish_interval_ms);
-      std::this_thread::sleep_until(next_publish);
+    if (publish_status.ok()) {
+      if (telemetry_ != nullptr) {
+        telemetry_->publish_latency.Record(publish_timer.ElapsedMicros());
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        published_latest_t_ = t;
+        ++steps_published_;
+        ++steps_attempted_;
+        last_publish_error_ = Status::OK();
+      }
+      progress_cv_.notify_all();
+      ++step;
+      if (options_.min_publish_interval_ms > 0) {
+        next_publish +=
+            std::chrono::milliseconds(options_.min_publish_interval_ms);
+        std::this_thread::sleep_until(next_publish);
+      }
+    } else {
+      if (telemetry_ != nullptr) {
+        telemetry_->publish_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++steps_attempted_;
+        last_publish_error_ = publish_status;
+      }
+      progress_cv_.notify_all();
+      if (!options_.manual_stepping) {
+        // Free-running mode would otherwise spin on a persistent fault;
+        // manual mode instead waits for its next permit.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
     }
   }
 

@@ -85,6 +85,12 @@ struct StreamIngestorOptions {
   /// Carry the previous epoch's frames into each new epoch, so queries
   /// on older timesteps keep working as the window advances.
   bool carry_forward = true;
+  /// Manual stepping: the loop publishes nothing on its own — each
+  /// publish attempt must be granted via GrantSteps(). The scenario
+  /// harness drives ingestion on a virtual clock this way (one grant
+  /// per cadence tick), which makes epoch progression deterministic
+  /// while the ingestor still runs as a real background thread.
+  bool manual_stepping = false;
 };
 
 /// \brief Background ingestion loop. Start() spawns the thread; Stop()
@@ -105,19 +111,44 @@ class StreamIngestor {
   void Start();
   void Stop();
 
+  /// \brief Stalls the publish loop before its next attempt (the
+  /// stalled-publisher fault seam): observations stop being consumed and
+  /// no epoch publishes until Resume(). Already-started attempts finish.
+  void Pause();
+  void Resume();
+  bool paused() const;
+
+  /// \brief Permits `n` more publish attempts under manual_stepping
+  /// (no-op credit otherwise; the free-running loop never waits on it).
+  /// Each attempt — successful or refused by the store — consumes one
+  /// permit, so a driver granting k permits knows exactly k attempts
+  /// will have happened once WaitUntilAttempted(total) returns.
+  void GrantSteps(int64_t n);
+
   /// \brief Blocks until an epoch with latest_t >= `t` has been
   /// published, or ingestion finished/stopped; true when reached.
   bool WaitUntilPublished(int64_t t);
+  /// \brief Blocks until `n` publish attempts have completed (counting
+  /// failures), or the loop finished/stopped; true when reached.
+  bool WaitUntilAttempted(int64_t n);
   /// \brief Blocks until the ingest loop finishes its configured steps.
   void WaitUntilDone();
 
   bool done() const;
   int64_t steps_published() const;
+  /// \brief Publish attempts so far, successful or not.
+  int64_t steps_attempted() const;
   /// \brief First inference/ingest error (OK while healthy).
   Status status() const;
+  /// \brief Status of the most recent publish attempt (the absorbed,
+  /// retryable kind — store write refusals; OK after a success).
+  Status last_publish_error() const;
 
  private:
   void Run();
+  /// \brief Blocks until the next publish attempt may start (not paused,
+  /// permit available under manual stepping). False on stop request.
+  bool AwaitStepClearance();
 
   const STDataset* dataset_;
   FrameInference inference_;
@@ -130,10 +161,17 @@ class StreamIngestor {
 
   mutable std::mutex mu_;
   std::condition_variable progress_cv_;
+  /// Wakes the publish loop when Pause/Resume/GrantSteps/Stop changes
+  /// what AwaitStepClearance is waiting on.
+  std::condition_variable control_cv_;
   int64_t published_latest_t_ = -1;
   int64_t steps_published_ = 0;
+  int64_t steps_attempted_ = 0;
+  bool paused_ = false;
+  int64_t step_permits_ = 0;
   bool done_ = false;
   Status status_;
+  Status last_publish_error_;
 };
 
 }  // namespace one4all

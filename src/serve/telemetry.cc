@@ -80,6 +80,8 @@ ServingTelemetrySnapshot ServingTelemetry::Snapshot() const {
   snap.frames_staged = frames_staged.load(std::memory_order_relaxed);
   snap.sat_planes_built =
       sat_planes_built.load(std::memory_order_relaxed);
+  snap.publish_failures =
+      publish_failures.load(std::memory_order_relaxed);
   for (int k = 0; k < kNumQuerySpecKinds; ++k) {
     snap.specs_by_kind[static_cast<size_t>(k)] =
         specs_by_kind[static_cast<size_t>(k)].load(
@@ -103,6 +105,7 @@ void ServingTelemetry::Reset() {
   epochs_reclaimed.store(0, std::memory_order_relaxed);
   frames_staged.store(0, std::memory_order_relaxed);
   sat_planes_built.store(0, std::memory_order_relaxed);
+  publish_failures.store(0, std::memory_order_relaxed);
   for (auto& counter : specs_by_kind) {
     counter.store(0, std::memory_order_relaxed);
   }
@@ -124,6 +127,8 @@ TablePrinter ServingTelemetrySnapshot::Render(
   table.AddRow({"epochs reclaimed", std::to_string(epochs_reclaimed)});
   table.AddRow({"frames staged", std::to_string(frames_staged)});
   table.AddRow({"SAT planes built", std::to_string(sat_planes_built)});
+  table.AddRow({"publish failures (absorbed)",
+                std::to_string(publish_failures)});
   table.AddSeparator();
   for (int k = 0; k < kNumQuerySpecKinds; ++k) {
     table.AddRow({std::string("specs ") +

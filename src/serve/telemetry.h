@@ -59,6 +59,11 @@ struct ServingTelemetrySnapshot {
   int64_t epochs_reclaimed = 0;
   int64_t frames_staged = 0;
   int64_t sat_planes_built = 0;  ///< summed-area planes staged with frames
+  /// Publish attempts the ingestor aborted because the store refused a
+  /// frame/plane write (fault injection, disk-full analogue). Each is an
+  /// absorbed failure: the staging epoch was dropped whole and the
+  /// timestep retried — readers never saw any of it.
+  int64_t publish_failures = 0;
   /// Executed specs by QuerySpecKind (point / range / multi-region /
   /// top-k / legacy batch), indexed by static_cast<int>(kind).
   std::array<int64_t, kNumQuerySpecKinds> specs_by_kind{};
@@ -97,6 +102,7 @@ class ServingTelemetry {
   std::atomic<int64_t> epochs_reclaimed{0};
   std::atomic<int64_t> frames_staged{0};
   std::atomic<int64_t> sat_planes_built{0};
+  std::atomic<int64_t> publish_failures{0};
   /// Executed specs by QuerySpecKind (legacy QueryBatch counts as
   /// kPointBatch), indexed by static_cast<int>(kind).
   std::array<std::atomic<int64_t>, kNumQuerySpecKinds> specs_by_kind{};

@@ -512,6 +512,139 @@ TEST(ServingRuntimeTest, HammerConcurrentQueriesDuringEpochRolls) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault paths: the injectable seams the scenario harness drives
+
+// An over-budget spec is refused whole with ResourceExhausted — never a
+// crash, never a partial result — and the runtime keeps serving
+// correctly afterwards.
+TEST(ServingRuntimeTest, SpecRejectionIsResourceExhaustedNotACrash) {
+  ServeFixture fixture = ServeFixture::Make();
+  ServingRuntimeOptions options = fixture.RuntimeOptions();
+  options.max_inflight_queries = 8;
+  options.ingest.num_timesteps = 4;
+  ServingRuntime runtime(&fixture.dataset->hierarchy(),
+                         &fixture.pipeline->index(), fixture.dataset.get(),
+                         MakeGroundTruthInference(fixture.dataset.get()),
+                         options);
+  runtime.Start();
+  runtime.ingestor().WaitUntilDone();
+  const int64_t start = options.ingest.start_t;
+
+  // 1 region x 9 timesteps = cost 9 > budget 8.
+  auto rejected = runtime.ExecuteSpec(QuerySpec::TimeRange(
+      fixture.regions[0], start, start + 8, TimeAggregation::kSum,
+      QueryStrategy::kUnionSubtraction));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  // The rejection released nothing it didn't claim: a within-budget spec
+  // still runs and still matches the oracle.
+  auto accepted = runtime.ExecuteSpec(QuerySpec::PointInTime(
+      fixture.regions[0], start, QueryStrategy::kUnionSubtraction));
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_EQ(accepted->rows.size(), 1u);
+  ASSERT_TRUE(accepted->rows[0].ok());
+  const double truth =
+      RegionTruth(*fixture.dataset, fixture.regions[0], start);
+  EXPECT_NEAR(accepted->rows[0].ValueOrDie().value, truth,
+              1e-3 * (1.0 + std::abs(truth)));
+
+  const auto snapshot = runtime.Telemetry();
+  EXPECT_EQ(snapshot.batches_rejected, 1);
+  EXPECT_EQ(snapshot.queries_rejected, 1);  // rejected != crashed
+}
+
+// A slow reader pinning an old epoch keeps that generation's frames AND
+// its SAT planes readable while newer epochs publish and the retention
+// horizon reclaims everything unpinned.
+TEST(ServingRuntimeTest, PinnedEpochSurvivesPublishesAndReclamation) {
+  ServeFixture fixture = ServeFixture::Make();
+  ServingRuntimeOptions options = fixture.RuntimeOptions();
+  options.ingest.num_timesteps = 6;
+  options.ingest.manual_stepping = true;
+  options.retain_timesteps = 2;
+  ServingRuntime runtime(&fixture.dataset->hierarchy(),
+                         &fixture.pipeline->index(), fixture.dataset.get(),
+                         MakeGroundTruthInference(fixture.dataset.get()),
+                         options);
+  runtime.Start();
+  runtime.ingestor().GrantSteps(1);
+  ASSERT_TRUE(runtime.ingestor().WaitUntilAttempted(1));
+
+  // The slow reader pins the first published epoch...
+  EpochGuard pinned = runtime.PinEpoch();
+  ASSERT_TRUE(pinned.pinned());
+  const int64_t start = options.ingest.start_t;
+  EXPECT_EQ(pinned.latest_t(), start);
+
+  // ...while the stream races five more epochs past it.
+  runtime.ingestor().GrantSteps(5);
+  runtime.ingestor().WaitUntilDone();
+  EXPECT_EQ(runtime.epochs().published_latest_t(), start + 5);
+  EXPECT_GE(runtime.Telemetry().epochs_reclaimed, 1);
+
+  // The pinned generation stayed fully readable: frame and SAT plane at
+  // its newest timestep, even though the live window has moved on.
+  PredictionStore& store = runtime.store();
+  EXPECT_TRUE(store.HasFrameAt(pinned.generation(), 1, start));
+  EXPECT_TRUE(store.HasSatPlaneAt(pinned.generation(), 1, start));
+  auto frame = store.GetFrameAt(pinned.generation(), 1, start);
+  ASSERT_TRUE(frame.ok());
+
+  // Released, the stale generation is reclaimed down to one live epoch.
+  pinned.Release();
+  runtime.Stop();
+  EXPECT_FALSE(store.HasFrameAt(pinned.generation(), 1, start));
+  EXPECT_EQ(runtime.epochs().live_epochs(), 1);
+}
+
+// A store refusing writes must not kill the ingest thread: each refused
+// publish is absorbed (counted, staging dropped whole), the same
+// timestep retries, and ingestion resumes when the injector clears.
+TEST(StreamIngestorTest, SurvivesStoreWriteRefusalAndResumes) {
+  ServeFixture fixture = ServeFixture::Make();
+  ServingRuntimeOptions options = fixture.RuntimeOptions();
+  options.ingest.num_timesteps = 5;
+  options.ingest.manual_stepping = true;
+  ServingRuntime runtime(&fixture.dataset->hierarchy(),
+                         &fixture.pipeline->index(), fixture.dataset.get(),
+                         MakeGroundTruthInference(fixture.dataset.get()),
+                         options);
+  runtime.Start();
+  runtime.ingestor().GrantSteps(2);
+  ASSERT_TRUE(runtime.ingestor().WaitUntilAttempted(2));
+  EXPECT_EQ(runtime.ingestor().steps_published(), 2);
+
+  runtime.store().SetWriteFault(
+      Status::IOError("injected: store refusing writes"));
+  runtime.ingestor().GrantSteps(3);
+  ASSERT_TRUE(runtime.ingestor().WaitUntilAttempted(5));
+
+  // Three attempts were refused: nothing new published, the failures are
+  // counted, the thread is alive (not done) and reports the refusal.
+  EXPECT_EQ(runtime.ingestor().steps_published(), 2);
+  EXPECT_FALSE(runtime.ingestor().done());
+  EXPECT_TRUE(runtime.ingestor().status().ok());  // not a fatal error
+  EXPECT_EQ(runtime.ingestor().last_publish_error().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(runtime.Telemetry().publish_failures, 3);
+  // No torn epoch: the published window still ends at the pre-fault t.
+  EXPECT_EQ(runtime.epochs().published_latest_t(),
+            options.ingest.start_t + 1);
+
+  // Injector clears: the refused timestep retries and the stream
+  // finishes every configured step.
+  runtime.store().ClearWriteFault();
+  runtime.ingestor().GrantSteps(3);
+  runtime.ingestor().WaitUntilDone();
+  EXPECT_EQ(runtime.ingestor().steps_published(), 5);
+  EXPECT_TRUE(runtime.ingestor().last_publish_error().ok());
+  EXPECT_EQ(runtime.epochs().published_latest_t(),
+            options.ingest.start_t + 4);
+  EXPECT_TRUE(runtime.ingestor().status().ok());
+}
+
+// ---------------------------------------------------------------------------
 // Telemetry / cache units
 
 TEST(LatencyHistogramTest, PercentilesAndMean) {

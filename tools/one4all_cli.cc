@@ -12,6 +12,7 @@
 //   one4all_cli serve    --flows flows.bin [--model model.bin]
 //                        [--steps 24] [--clients 2] [--batch 64]
 //                        [--publish-ms 20] [--retain 0] [--strategy usub]
+//   one4all_cli scenario scenarios/happy_path.json
 //
 // `query` compiles the flags into a typed QuerySpec (point-in-time,
 // time-range aggregation, multi-region group, or top-k ranking), plans
@@ -24,6 +25,11 @@
 // client threads fire a storm of mixed query shapes (legacy batches,
 // time-range, multi-region and top-k specs) at the runtime; finishes by
 // printing the serving telemetry block with per-spec-kind counts.
+//
+// `scenario` runs one declarative scenario spec (see scenarios/ and the
+// README's scenario-harness section) through the deterministic workload
+// engine and pretty-prints the verdict; exits non-zero when an invariant
+// was violated. For the full golden-checked matrix use scenario_runner.
 //
 // The model file stores the network weights; a sidecar "<model>.meta"
 // records the hierarchy/window configuration so `query`/`eval` can
@@ -47,6 +53,8 @@
 #include "model/hierarchy_search.h"
 #include "model/one4all_net.h"
 #include "model/trainer.h"
+#include "scenario/scenario_engine.h"
+#include "scenario/scenario_spec.h"
 #include "serve/serving_runtime.h"
 
 using namespace one4all;
@@ -583,10 +591,33 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
+int CmdScenario(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+    std::cerr << "usage: one4all_cli scenario <spec.json>\n";
+    return 2;
+  }
+  auto spec = LoadScenarioSpec(argv[2]);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  auto verdict = RunScenario(*spec);
+  if (!verdict.ok()) {
+    std::cerr << verdict.status().ToString() << "\n";
+    return 1;
+  }
+  verdict->Render().Print(std::cout);
+  if (!verdict->passed()) {
+    std::cerr << "scenario " << spec->name << ": invariant violated\n";
+    return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr << "usage: one4all_cli <generate|train|query|eval|"
-               "search-structure|serve> [--flags]\n(see the header comment "
-               "of tools/one4all_cli.cc for examples)\n";
+               "search-structure|serve|scenario> [--flags]\n(see the header "
+               "comment of tools/one4all_cli.cc for examples)\n";
   return 2;
 }
 
@@ -602,5 +633,6 @@ int main(int argc, char** argv) {
   if (command == "eval") return CmdEval(flags);
   if (command == "search-structure") return CmdSearchStructure(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "scenario") return CmdScenario(argc, argv);
   return Usage();
 }

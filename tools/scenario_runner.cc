@@ -1,0 +1,231 @@
+// scenario_runner — executes a directory (or explicit list) of declarative
+// scenario specs through the scenario engine and checks each canonical
+// verdict against its committed golden file.
+//
+//   scenario_runner [--dir scenarios] [--golden-dir <dir>]
+//                   [--out BENCH_scenarios.json] [--update-goldens]
+//                   [spec.json ...]
+//
+// Without positional files every *.json directly under --dir runs, in
+// lexicographic order. The golden for spec <stem>.json lives at
+// <golden-dir>/<stem>.golden.json (default golden dir: "<dir>/golden").
+// A run passes iff every scenario's invariants held AND every canonical
+// verdict is byte-identical to its golden; --update-goldens instead
+// rewrites the goldens from this run (review the diff before
+// committing). All verdicts are also consolidated — verbatim, in run
+// order — into one --out JSON document for CI artifact upload.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_engine.h"
+#include "scenario/scenario_spec.h"
+
+namespace fs = std::filesystem;
+using namespace one4all;
+
+namespace {
+
+struct RunnerArgs {
+  std::string dir = "scenarios";
+  std::string golden_dir;  // empty: derive "<dir>/golden"
+  std::string out = "BENCH_scenarios.json";
+  bool update_goldens = false;
+  std::vector<std::string> files;
+};
+
+int Usage() {
+  std::cerr << "usage: scenario_runner [--dir scenarios] [--golden-dir d]\n"
+               "                       [--out BENCH_scenarios.json]\n"
+               "                       [--update-goldens] [spec.json ...]\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, RunnerArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--update-goldens") {
+      args->update_goldens = true;
+    } else if (arg == "--dir" || arg == "--golden-dir" || arg == "--out") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return false;
+      }
+      const std::string value = argv[++i];
+      if (arg == "--dir") args->dir = value;
+      else if (arg == "--golden-dir") args->golden_dir = value;
+      else args->out = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
+      return false;
+    } else {
+      args->files.push_back(arg);
+    }
+  }
+  return true;
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const fs::path& path, const std::string& content) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path.string());
+  out << content;
+  out.close();
+  if (!out) return Status::IOError("short write to " + path.string());
+  return Status::OK();
+}
+
+// First line where the two texts disagree, for a readable mismatch report.
+void ReportGoldenDiff(const std::string& golden, const std::string& got) {
+  std::istringstream a(golden), b(got);
+  std::string la, lb;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool ha = static_cast<bool>(std::getline(a, la));
+    const bool hb = static_cast<bool>(std::getline(b, lb));
+    if (!ha && !hb) return;  // only trailing-byte difference
+    if (ha != hb || la != lb) {
+      std::cerr << "  first difference at line " << line << ":\n"
+                << "    golden: " << (ha ? la : "<end of file>") << "\n"
+                << "    got:    " << (hb ? lb : "<end of file>") << "\n";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunnerArgs args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+
+  // Work list: positional files verbatim, else every *.json in --dir.
+  std::vector<fs::path> specs;
+  for (const auto& file : args.files) specs.emplace_back(file);
+  if (specs.empty()) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(args.dir, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".json") {
+        specs.push_back(entry.path());
+      }
+    }
+    if (ec) {
+      std::cerr << "cannot list " << args.dir << ": " << ec.message() << "\n";
+      return 1;
+    }
+    std::sort(specs.begin(), specs.end());
+  }
+  if (specs.empty()) {
+    std::cerr << "no scenario specs found under " << args.dir << "\n";
+    return 1;
+  }
+
+  const fs::path golden_dir = args.golden_dir.empty()
+                                  ? fs::path(args.dir) / "golden"
+                                  : fs::path(args.golden_dir);
+
+  int failures = 0;
+  std::vector<std::string> canonicals;
+  for (const auto& spec_path : specs) {
+    auto spec = LoadScenarioSpec(spec_path.string());
+    if (!spec.ok()) {
+      std::cerr << "FAIL " << spec_path.string() << ": "
+                << spec.status().ToString() << "\n";
+      ++failures;
+      continue;
+    }
+    auto verdict = RunScenario(*spec);
+    if (!verdict.ok()) {
+      std::cerr << "FAIL " << spec_path.string() << ": "
+                << verdict.status().ToString() << "\n";
+      ++failures;
+      continue;
+    }
+    verdict->Render().Print(std::cout);
+    const std::string canonical = verdict->CanonicalJson();
+    canonicals.push_back(canonical);
+
+    bool scenario_ok = verdict->passed();
+    if (!scenario_ok) {
+      std::cerr << "FAIL " << spec->name << ": invariant violated\n";
+    }
+
+    const fs::path golden_path =
+        golden_dir / (spec_path.stem().string() + ".golden.json");
+    if (args.update_goldens) {
+      Status st = WriteFile(golden_path, canonical);
+      if (!st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        scenario_ok = false;
+      } else {
+        std::cout << "updated " << golden_path.string() << "\n";
+      }
+    } else {
+      auto golden = ReadFile(golden_path);
+      if (!golden.ok()) {
+        std::cerr << "FAIL " << spec->name << ": no golden ("
+                  << golden.status().ToString()
+                  << "); run with --update-goldens to create it\n";
+        scenario_ok = false;
+      } else if (*golden != canonical) {
+        std::cerr << "FAIL " << spec->name << ": verdict differs from "
+                  << golden_path.string() << "\n";
+        ReportGoldenDiff(*golden, canonical);
+        scenario_ok = false;
+      } else {
+        std::cout << "golden OK: " << golden_path.string() << "\n";
+      }
+    }
+    if (!scenario_ok) ++failures;
+    std::cout << "\n";
+  }
+
+  // One consolidated artifact per run: every canonical verdict verbatim,
+  // in run order, re-indented under a "scenarios" array.
+  {
+    std::ostringstream bench;
+    bench << "{\n  \"scenarios\": [";
+    for (size_t i = 0; i < canonicals.size(); ++i) {
+      bench << (i == 0 ? "\n" : ",\n");
+      std::istringstream lines(canonicals[i]);
+      std::string line;
+      bool first = true;
+      while (std::getline(lines, line)) {
+        if (!first) bench << "\n";
+        bench << "    " << line;
+        first = false;
+      }
+    }
+    bench << "\n  ]\n}\n";
+    Status st = WriteFile(args.out, bench.str());
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << canonicals.size() << " verdicts to " << args.out
+              << "\n";
+  }
+
+  if (failures > 0) {
+    std::cerr << failures << " of " << specs.size() << " scenarios failed\n";
+    return 1;
+  }
+  std::cout << "all " << specs.size() << " scenarios passed\n";
+  return 0;
+}
