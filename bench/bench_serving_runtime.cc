@@ -6,6 +6,13 @@
 // throughput within 2x of the static baseline while an epoch is
 // published at least every 50 ms, with zero consistency violations.
 //
+// The storm phase runs twice — once with the trace recorder disabled
+// and once with always-on recording (default head sampling) — to
+// measure the observability tax. Acceptance (ISSUE 8): always-on span
+// recording costs <= 5% QPS versus the no-obs run; both figures, the
+// ring drop accounting and a per-stage latency breakdown (from the
+// recorded spans) land in BENCH_serving.json.
+//
 // Emits BENCH_serving.json (override with O4A_BENCH_JSON, empty
 // disables). Env knobs: O4A_BENCH_QUERIES (static-phase stream length),
 // O4A_BENCH_CLIENTS (storm client threads), O4A_BENCH_STRICT (default
@@ -24,6 +31,8 @@
 #include "core/rng.h"
 #include "core/stopwatch.h"
 #include "core/thread_pool.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "query/resolved_query_cache.h"
 #include "serve/serving_runtime.h"
 
@@ -43,10 +52,21 @@ std::vector<GridMask> MakeRegions(const STDataset& dataset) {
   return regions;
 }
 
+struct StormOutcome {
+  double qps = 0.0;
+  int64_t answered = 0;
+  int64_t inconsistent = 0;
+  int64_t rejected = 0;
+  double storm_seconds = 0.0;
+  ServingTelemetrySnapshot telemetry;
+};
+
 struct ServingResult {
   double baseline_qps = 0.0;
-  double serving_qps = 0.0;
-  double ratio = 0.0;
+  double serving_qps = 0.0;         ///< obs-on storm (production config)
+  double serving_qps_no_obs = 0.0;  ///< recorder disabled
+  double obs_overhead_pct = 0.0;    ///< (no_obs - obs) / no_obs, floored at 0
+  double ratio = 0.0;               ///< obs-on vs static baseline
   int64_t serving_queries = 0;
   int64_t epochs_published = 0;
   double mean_publish_interval_ms = 0.0;
@@ -55,7 +75,106 @@ struct ServingResult {
   double query_p99_micros = 0.0;
   int64_t inconsistent = 0;
   int64_t rejected = 0;
+  int64_t ring_events = 0;
+  int64_t ring_dropped = 0;
+  std::array<SpanAggregate, kNumSpanNames> stages{};
 };
+
+// One storm phase: the mixed batch storm against a fresh ServingRuntime
+// whose every layer emits spans into `recorder` (enable/disable it
+// before calling). Consistency is checked on every answer.
+StormOutcome RunStorm(const STDataset& dataset,
+                      const ExtendedQuadTree& index,
+                      const std::vector<GridMask>& regions, int clients,
+                      QueryStrategy strategy, TraceRecorder* recorder,
+                      const char* label) {
+  const auto& slots = dataset.test_indices();
+  ServingRuntimeOptions options;
+  options.strategy = strategy;
+  options.num_query_threads = 1;  // concurrency comes from the clients
+  options.max_inflight_queries = 1 << 20;
+  options.trace = recorder;
+  options.ingest.start_t = slots.front();
+  options.ingest.num_timesteps = static_cast<int64_t>(slots.size());
+  // Paced well inside the 50 ms epoch-cadence budget; the ingest loop
+  // still pays full stage+publish cost per epoch.
+  options.ingest.min_publish_interval_ms = 10;
+  ServingRuntime runtime(&dataset.hierarchy(), &index, &dataset,
+                         MakeGroundTruthInference(&dataset), options);
+
+  std::atomic<int64_t> answered{0};
+  std::atomic<int64_t> inconsistent{0};
+  std::atomic<int64_t> rejected{0};
+
+  runtime.Start();
+  O4A_CHECK(runtime.ingestor().WaitUntilPublished(slots.front()));
+  Stopwatch storm_timer;
+  std::vector<std::thread> storm;
+  for (int c = 0; c < clients; ++c) {
+    storm.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(97 + c));
+      while (!runtime.ingestor().done()) {
+        const int64_t latest = runtime.epochs().published_latest_t();
+        const int64_t span = latest - slots.front() + 1;
+        std::vector<BatchQuery> batch;
+        batch.reserve(256);
+        for (int i = 0; i < 256; ++i) {
+          const size_t region =
+              static_cast<size_t>(rng.UniformInt(regions.size()));
+          const int64_t t =
+              slots.front() +
+              static_cast<int64_t>(
+                  rng.UniformInt(static_cast<uint64_t>(span)));
+          batch.push_back(BatchQuery{regions[region], t});
+        }
+        auto results = runtime.QueryBatch(batch);
+        if (!results.ok()) {
+          rejected.fetch_add(static_cast<int64_t>(batch.size()));
+          continue;
+        }
+        int64_t ok_count = 0;
+        for (size_t i = 0; i < results->size(); ++i) {
+          const auto& response = (*results)[i];
+          O4A_CHECK(response.ok()) << response.status().ToString();
+          ++ok_count;
+          // Ground-truth inference + exact-cover combinations:
+          // every answer must reproduce the region's true flow.
+          const double truth =
+              RegionTruth(dataset, batch[i].region, batch[i].t);
+          if (std::abs(response.ValueOrDie().value - truth) >
+              1e-3 * (1.0 + std::abs(truth))) {
+            inconsistent.fetch_add(1);
+          }
+        }
+        answered.fetch_add(ok_count);
+      }
+    });
+  }
+  for (auto& client : storm) client.join();
+  StormOutcome outcome;
+  outcome.storm_seconds = storm_timer.ElapsedSeconds();
+  runtime.Stop();
+  O4A_CHECK(runtime.ingestor().status().ok())
+      << runtime.ingestor().status().ToString();
+
+  outcome.answered = answered.load();
+  outcome.qps =
+      static_cast<double>(outcome.answered) / outcome.storm_seconds;
+  outcome.inconsistent = inconsistent.load();
+  outcome.rejected = rejected.load();
+  outcome.telemetry = runtime.Telemetry();
+
+  std::cout << label << ": " << outcome.answered << " queries in "
+            << TablePrinter::Num(outcome.storm_seconds, 3) << " s ("
+            << TablePrinter::Num(outcome.qps, 0) << " q/s)\n";
+  const auto cache_stats = runtime.cache().Stats();
+  std::cout << "  resolve cache: hit rate "
+            << TablePrinter::Num(cache_stats.hit_rate() * 100.0, 1)
+            << "% over " << (cache_stats.hits + cache_stats.misses)
+            << " lookups, invalidations " << cache_stats.invalidations
+            << "\n";
+  return outcome;
+}
 
 void WriteJson(const std::string& path, const ServingResult& r,
                int clients) {
@@ -67,6 +186,10 @@ void WriteJson(const std::string& path, const ServingResult& r,
      << ",\n";
   js << "  \"serving_qps\": " << TablePrinter::Num(r.serving_qps, 0)
      << ",\n";
+  js << "  \"serving_qps_no_obs\": "
+     << TablePrinter::Num(r.serving_qps_no_obs, 0) << ",\n";
+  js << "  \"obs_overhead_pct\": "
+     << TablePrinter::Num(r.obs_overhead_pct, 2) << ",\n";
   js << "  \"ratio\": " << TablePrinter::Num(r.ratio, 3) << ",\n";
   js << "  \"serving_queries\": " << r.serving_queries << ",\n";
   js << "  \"epochs_published\": " << r.epochs_published << ",\n";
@@ -79,7 +202,31 @@ void WriteJson(const std::string& path, const ServingResult& r,
   js << "  \"query_p99_micros\": "
      << TablePrinter::Num(r.query_p99_micros, 1) << ",\n";
   js << "  \"inconsistent\": " << r.inconsistent << ",\n";
-  js << "  \"rejected\": " << r.rejected << "\n";
+  js << "  \"rejected\": " << r.rejected << ",\n";
+  js << "  \"ring_events\": " << r.ring_events << ",\n";
+  js << "  \"ring_dropped\": " << r.ring_dropped << ",\n";
+  // Stage-attributed latency breakdown from the obs-on storm's spans.
+  js << "  \"stage_count\": {";
+  bool first = true;
+  for (int i = 0; i < kNumSpanNames; ++i) {
+    if (r.stages[static_cast<size_t>(i)].count == 0) continue;
+    js << (first ? "" : ", ") << "\""
+       << SpanNameString(static_cast<SpanName>(i))
+       << "\": " << r.stages[static_cast<size_t>(i)].count;
+    first = false;
+  }
+  js << "},\n";
+  js << "  \"stage_mean_micros\": {";
+  first = true;
+  for (int i = 0; i < kNumSpanNames; ++i) {
+    const auto& agg = r.stages[static_cast<size_t>(i)];
+    if (agg.count == 0) continue;
+    js << (first ? "" : ", ") << "\""
+       << SpanNameString(static_cast<SpanName>(i))
+       << "\": " << TablePrinter::Num(agg.MeanMicros(), 2);
+    first = false;
+  }
+  js << "}\n";
   js << "}\n";
   std::ofstream out(path);
   if (!out) {
@@ -137,106 +284,56 @@ int main_impl() {
               << TablePrinter::Num(result.baseline_qps, 0) << " q/s)\n";
   }
 
-  // -- Phase 2: the same storm while the serving runtime rolls epochs --
+  // -- Phase 2: the storm with the trace recorder disabled ------------
+  // Fresh recorders per phase so the obs-on ring accounting below is
+  // exactly one storm's worth of events.
+  StormOutcome no_obs;
   {
-    ServingRuntimeOptions options;
-    options.strategy = strategy;
-    options.num_query_threads = 1;  // concurrency comes from the clients
-    options.max_inflight_queries = 1 << 20;
-    options.ingest.start_t = slots.front();
-    options.ingest.num_timesteps = static_cast<int64_t>(slots.size());
-    // Paced well inside the 50 ms epoch-cadence budget; the ingest loop
-    // still pays full stage+publish cost per epoch.
-    options.ingest.min_publish_interval_ms = 10;
-    ServingRuntime runtime(&dataset.hierarchy(), &pipeline->index(),
-                           &dataset, MakeGroundTruthInference(&dataset),
-                           options);
-
-    std::atomic<int64_t> answered{0};
-    std::atomic<int64_t> inconsistent{0};
-    std::atomic<int64_t> rejected{0};
-
-    runtime.Start();
-    O4A_CHECK(runtime.ingestor().WaitUntilPublished(slots.front()));
-    Stopwatch storm_timer;
-    std::vector<std::thread> storm;
-    for (int c = 0; c < clients; ++c) {
-      storm.emplace_back([&, c] {
-        Rng rng(static_cast<uint64_t>(97 + c));
-        while (!runtime.ingestor().done()) {
-          const int64_t latest = runtime.epochs().published_latest_t();
-          const int64_t span = latest - slots.front() + 1;
-          std::vector<BatchQuery> batch;
-          batch.reserve(256);
-          for (int i = 0; i < 256; ++i) {
-            const size_t region =
-                static_cast<size_t>(rng.UniformInt(regions.size()));
-            const int64_t t =
-                slots.front() +
-                static_cast<int64_t>(
-                    rng.UniformInt(static_cast<uint64_t>(span)));
-            batch.push_back(BatchQuery{regions[region], t});
-          }
-          auto results = runtime.QueryBatch(batch);
-          if (!results.ok()) {
-            rejected.fetch_add(static_cast<int64_t>(batch.size()));
-            continue;
-          }
-          int64_t ok_count = 0;
-          for (size_t i = 0; i < results->size(); ++i) {
-            const auto& response = (*results)[i];
-            O4A_CHECK(response.ok()) << response.status().ToString();
-            ++ok_count;
-            // Ground-truth inference + exact-cover combinations:
-            // every answer must reproduce the region's true flow.
-            const double truth =
-                RegionTruth(dataset, batch[i].region, batch[i].t);
-            if (std::abs(response.ValueOrDie().value - truth) >
-                1e-3 * (1.0 + std::abs(truth))) {
-              inconsistent.fetch_add(1);
-            }
-          }
-          answered.fetch_add(ok_count);
-        }
-      });
-    }
-    for (auto& client : storm) client.join();
-    const double storm_seconds = storm_timer.ElapsedSeconds();
-    runtime.Stop();
-    O4A_CHECK(runtime.ingestor().status().ok())
-        << runtime.ingestor().status().ToString();
-
-    const auto telemetry = runtime.Telemetry();
-    result.serving_queries = answered.load();
-    result.serving_qps =
-        static_cast<double>(answered.load()) / storm_seconds;
-    result.ratio = result.serving_qps / result.baseline_qps;
-    result.epochs_published = telemetry.epochs_published;
-    result.mean_publish_interval_ms =
-        storm_seconds * 1e3 /
-        static_cast<double>(std::max<int64_t>(1, telemetry.epochs_published));
-    result.publish_p99_micros = telemetry.publish_p99_micros;
-    result.query_p50_micros = telemetry.query_p50_micros;
-    result.query_p99_micros = telemetry.query_p99_micros;
-    result.inconsistent = inconsistent.load();
-    result.rejected = rejected.load();
-
-    telemetry.Render("Serving telemetry (storm phase)").Print(std::cout);
-    const auto cache_stats = runtime.cache().Stats();
-    std::cout << "resolve cache: hit rate "
-              << TablePrinter::Num(cache_stats.hit_rate() * 100.0, 1)
-              << "% over "
-              << (cache_stats.hits + cache_stats.misses)
-              << " lookups, invalidations " << cache_stats.invalidations
-              << "\n";
+    TraceRecorder recorder;
+    recorder.set_enabled(false);
+    no_obs = RunStorm(dataset, pipeline->index(), regions, clients,
+                      strategy, &recorder, "storm (no obs)");
+    O4A_CHECK_EQ(recorder.total_events(), 0);
   }
+
+  // -- Phase 3: the same storm with always-on recording ---------------
+  StormOutcome obs;
+  TraceRecorder obs_recorder;  // default head sampling (1-in-16 trees)
+  obs = RunStorm(dataset, pipeline->index(), regions, clients, strategy,
+                 &obs_recorder, "storm (obs on)");
+  obs.telemetry.Render("Serving telemetry (obs-on storm)")
+      .Print(std::cout);
+
+  result.serving_qps = obs.qps;
+  result.serving_qps_no_obs = no_obs.qps;
+  result.obs_overhead_pct =
+      std::max(0.0, (no_obs.qps - obs.qps) / no_obs.qps * 100.0);
+  result.ratio = result.serving_qps / result.baseline_qps;
+  result.serving_queries = obs.answered;
+  result.epochs_published = obs.telemetry.epochs_published;
+  result.mean_publish_interval_ms =
+      obs.storm_seconds * 1e3 /
+      static_cast<double>(
+          std::max<int64_t>(1, obs.telemetry.epochs_published));
+  result.publish_p99_micros = obs.telemetry.publish_p99_micros;
+  result.query_p50_micros = obs.telemetry.query_p50_micros;
+  result.query_p99_micros = obs.telemetry.query_p99_micros;
+  result.inconsistent = obs.inconsistent + no_obs.inconsistent;
+  result.rejected = obs.rejected + no_obs.rejected;
+  result.ring_events = obs_recorder.total_events();
+  result.ring_dropped = obs_recorder.dropped_events();
+  result.stages = AggregateBySpanName(obs_recorder.Snapshot());
 
   TablePrinter table("Serving throughput while epochs roll (" +
                      std::to_string(clients) + " storm clients)");
   table.SetHeader({"Mode", "queries/s", "vs static"});
   table.AddRow({"static BatchPredict baseline",
                 TablePrinter::Num(result.baseline_qps, 0), "1.00"});
-  table.AddRow({"ServingRuntime + epoch rolls",
+  table.AddRow({"ServingRuntime, obs disabled",
+                TablePrinter::Num(result.serving_qps_no_obs, 0),
+                TablePrinter::Num(result.serving_qps_no_obs /
+                                      result.baseline_qps, 2)});
+  table.AddRow({"ServingRuntime, obs on",
                 TablePrinter::Num(result.serving_qps, 0),
                 TablePrinter::Num(result.ratio, 2)});
   table.Print(std::cout);
@@ -244,6 +341,23 @@ int main_impl() {
             << " (mean interval "
             << TablePrinter::Num(result.mean_publish_interval_ms, 1)
             << " ms)\n";
+  std::cout << "observability tax: "
+            << TablePrinter::Num(result.obs_overhead_pct, 2)
+            << "% QPS; trace ring: " << result.ring_events
+            << " events, " << result.ring_dropped << " dropped\n";
+  // Per-stage latency attribution from the recorded spans.
+  {
+    TablePrinter stages("Stage-attributed latency (obs-on storm spans)");
+    stages.SetHeader({"Stage", "count", "mean (us)"});
+    for (int i = 0; i < kNumSpanNames; ++i) {
+      const auto& agg = result.stages[static_cast<size_t>(i)];
+      if (agg.count == 0) continue;
+      stages.AddRow({SpanNameString(static_cast<SpanName>(i)),
+                     std::to_string(agg.count),
+                     TablePrinter::Num(agg.MeanMicros(), 2)});
+    }
+    stages.Print(std::cout);
+  }
 
   const char* json_env = std::getenv("O4A_BENCH_JSON");
   const std::string json_path =
@@ -253,16 +367,20 @@ int main_impl() {
   const bool throughput_ok = result.ratio >= 0.5;
   const bool cadence_ok = result.mean_publish_interval_ms <= 50.0;
   const bool consistent_ok = result.inconsistent == 0;
+  const bool overhead_ok = result.obs_overhead_pct <= 5.0;
   PrintShapeCheck(
       "serving throughput within 2x of the static-store baseline",
       throughput_ok);
   PrintShapeCheck("an epoch published at least every 50 ms", cadence_ok);
   PrintShapeCheck("zero torn/inconsistent answers under the storm",
                   consistent_ok);
+  PrintShapeCheck("always-on span recording costs <= 5% QPS",
+                  overhead_ok);
 
   const char* strict_env = std::getenv("O4A_BENCH_STRICT");
   const bool strict = strict_env == nullptr || std::atoi(strict_env) != 0;
-  const bool ok = throughput_ok && cadence_ok && consistent_ok;
+  const bool ok =
+      throughput_ok && cadence_ok && consistent_ok && overhead_ok;
   return (ok || !strict) ? 0 : 1;
 }
 

@@ -1,0 +1,92 @@
+#include "obs/event_ring.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace one4all {
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TraceEventRing::TraceEventRing(size_t capacity)
+    : capacity_(RoundUpPow2(std::max<size_t>(capacity, 2))),
+      mask_(static_cast<uint64_t>(capacity_) - 1),
+      slots_(new Slot[capacity_]) {}
+
+void TraceEventRing::Append(const TraceEvent& event) {
+  const uint64_t ticket = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Claim the slot by flipping its sequence odd. The only writer allowed
+  // in is the one whose CAS from the current even value succeeds; a
+  // producer that got lapped (slot already claimed by a newer ticket, or
+  // an older writer still inside) gives up and counts the drop — the hot
+  // path never spins.
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if ((seq & 1) != 0 ||
+      !slot.seq.compare_exchange_strong(seq, seq | 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.trace_id.store(event.trace_id, std::memory_order_relaxed);
+  slot.span_id.store(event.span_id, std::memory_order_relaxed);
+  slot.parent_id.store(event.parent_id, std::memory_order_relaxed);
+  slot.start_nanos.store(event.start_nanos, std::memory_order_relaxed);
+  slot.duration_nanos.store(event.duration_nanos, std::memory_order_relaxed);
+  slot.arg.store(event.arg, std::memory_order_relaxed);
+  slot.thread_id.store(event.thread_id, std::memory_order_relaxed);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.category.store(event.category, std::memory_order_relaxed);
+  // Commit: even sequence derived from the ticket, so a reader can order
+  // slots chronologically and detect that this slot was republished.
+  slot.seq.store((ticket + 1) << 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceEventRing::Snapshot() const {
+  std::vector<std::pair<uint64_t, TraceEvent>> found;
+  found.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+    TraceEvent event;
+    event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    event.span_id = slot.span_id.load(std::memory_order_relaxed);
+    event.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+    event.start_nanos = slot.start_nanos.load(std::memory_order_relaxed);
+    event.duration_nanos =
+        slot.duration_nanos.load(std::memory_order_relaxed);
+    event.arg = slot.arg.load(std::memory_order_relaxed);
+    event.thread_id = slot.thread_id.load(std::memory_order_relaxed);
+    event.name =
+        static_cast<uint8_t>(slot.name.load(std::memory_order_relaxed));
+    event.category =
+        static_cast<uint8_t>(slot.category.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t s2 = slot.seq.load(std::memory_order_relaxed);
+    if (s1 != s2) continue;  // overwritten while reading; skip torn slot
+    found.emplace_back((s1 >> 1) - 1, event);  // recover the ticket
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TraceEvent> events;
+  events.reserve(found.size());
+  for (auto& entry : found) events.push_back(entry.second);
+  return events;
+}
+
+void TraceEventRing::Reset() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  cursor_.store(0, std::memory_order_relaxed);
+  contended_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace one4all

@@ -1,0 +1,114 @@
+// Bounded lock-free flight recorder for trace events: many producers
+// append completed spans with two atomic RMWs plus relaxed payload
+// stores; readers snapshot at any time without stopping writers. The
+// ring keeps the newest `capacity` events (drop-oldest) and accounts
+// for every event it could not keep — drop counts are part of the
+// exported surface, never silent.
+#ifndef ONE4ALL_OBS_EVENT_RING_H_
+#define ONE4ALL_OBS_EVENT_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace one4all {
+
+/// \brief One completed span, fixed size so ring slots never allocate.
+/// Times are nanoseconds since the owning recorder's birth; `parent_id`
+/// is 0 for trace roots. `name`/`category` are SpanName/SpanCategory
+/// enum values kept as raw integers so this struct stays a plain POD
+/// shared between the ring and the exporters.
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0: root of its trace
+  uint64_t start_nanos = 0;
+  uint64_t duration_nanos = 0;
+  int64_t arg = 0;  ///< span-specific detail (rows, timestep, generation...)
+  uint32_t thread_id = 0;
+  uint8_t name = 0;      ///< SpanName
+  uint8_t category = 0;  ///< SpanCategory
+};
+
+/// \brief MPSC-style bounded ring of TraceEvents (multi-producer append,
+/// any-thread snapshot reads). Each slot carries a seqlock word: a
+/// producer claims a ticket with one fetch_add, marks the slot odd,
+/// writes the payload through relaxed atomic fields, then releases the
+/// slot with the ticket's even sequence. Readers accept a slot only when
+/// the sequence is even and unchanged across the payload read, so a torn
+/// (concurrently overwritten) slot is skipped rather than misreported —
+/// and TSan sees only atomic accesses.
+class TraceEventRing {
+ public:
+  /// \param capacity Rounded up to a power of two; minimum 2.
+  explicit TraceEventRing(size_t capacity);
+
+  TraceEventRing(const TraceEventRing&) = delete;
+  TraceEventRing& operator=(const TraceEventRing&) = delete;
+
+  /// \brief Records `event`, overwriting the oldest slot once full.
+  /// Never blocks: when another producer is mid-write in the same slot
+  /// (lapped writer), the event is dropped and counted instead.
+  void Append(const TraceEvent& event);
+
+  /// \brief Stable copy of every currently-readable event, oldest first.
+  /// Slots being overwritten during the read are skipped (they are
+  /// counted by the drop accounting of the writers that lapped them).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// \brief Events ever handed to Append().
+  int64_t total_appended() const {
+    return static_cast<int64_t>(cursor_.load(std::memory_order_relaxed));
+  }
+  /// \brief Events lost because the ring wrapped past them. Contended
+  /// drops never occupied a slot, so they are excluded here — at
+  /// quiescence `Snapshot().size() + dropped_total() == total_appended()`
+  /// holds exactly.
+  int64_t dropped_overwritten() const {
+    const int64_t stored = total_appended() - dropped_contended();
+    const int64_t cap = static_cast<int64_t>(capacity_);
+    return stored > cap ? stored - cap : 0;
+  }
+  /// \brief Events abandoned because the target slot was mid-write.
+  int64_t dropped_contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  int64_t dropped_total() const {
+    return dropped_overwritten() + dropped_contended();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Clears every slot and counter. Not safe against concurrent
+  /// Append(); call only while producers are quiescent (between bench
+  /// phases, after Stop()).
+  void Reset();
+
+ private:
+  // seq even: slot committed by ticket (seq>>1)-1, or empty when 0.
+  // seq odd: a producer is writing the payload right now.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> parent_id{0};
+    std::atomic<uint64_t> start_nanos{0};
+    std::atomic<uint64_t> duration_nanos{0};
+    std::atomic<int64_t> arg{0};
+    std::atomic<uint32_t> thread_id{0};
+    std::atomic<uint16_t> name{0};
+    std::atomic<uint16_t> category{0};
+  };
+
+  size_t capacity_;
+  uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> cursor_{0};   ///< next ticket == total appended
+  std::atomic<int64_t> contended_{0};
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_OBS_EVENT_RING_H_

@@ -1,0 +1,451 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace one4all {
+
+namespace {
+// Geometric bucket layout: bucket b covers (kBase*kFactor^b, next].
+constexpr double kBaseMicros = 0.5;
+constexpr double kFactor = 1.19;
+const double kInvLogFactor = 1.0 / std::log(kFactor);
+
+/// Prometheus sample value: integers render without a fraction so
+/// counter goldens stay stable; everything else uses %.6g. Non-finite
+/// values use the spec spellings NaN/+Inf/-Inf.
+std::string FormatValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string SampleName(const std::string& name, const std::string& labels,
+                       const std::string& extra_label = "") {
+  std::string out = name;
+  std::string body = labels;
+  if (!extra_label.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra_label;
+  }
+  if (!body.empty()) out += "{" + body + "}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool ValidMetricNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+}  // namespace
+
+int LatencyHistogram::BucketFor(double micros) {
+  if (!(micros > kBaseMicros)) return 0;
+  const int bucket =
+      static_cast<int>(std::log(micros / kBaseMicros) * kInvLogFactor) + 1;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketUpperMicros(int bucket) {
+  return kBaseMicros * std::pow(kFactor, bucket);
+}
+
+void LatencyHistogram::Record(double micros) {
+  // NaN/Inf/negative samples (a stopwatch glitch, a bad upstream
+  // division) must not poison the totals: std::max(NaN, 0.0) keeps the
+  // NaN and casting it to int64 is UB, so sanitize to 0 explicitly.
+  if (!std::isfinite(micros) || micros < 0.0) micros = 0.0;
+  buckets_[static_cast<size_t>(BucketFor(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t nanos = static_cast<int64_t>(micros * 1e3);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  int64_t seen = min_nanos_.load(std::memory_order_relaxed);
+  while (nanos < seen && !min_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+  seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen && !max_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::PercentileMicros(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  std::array<int64_t, kNumBuckets> snapshot;
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    snapshot[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    total += snapshot[static_cast<size_t>(b)];
+  }
+  if (total == 0) return 0.0;
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
+  double estimate = BucketUpperMicros(kNumBuckets - 1);
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += snapshot[static_cast<size_t>(b)];
+    if (seen >= rank) {
+      estimate = BucketUpperMicros(b);
+      break;
+    }
+  }
+  // A bucket's upper bound can overshoot the largest real sample (one
+  // 100us sample reports p99 ~103us otherwise); clamp into the observed
+  // range so p50 <= p99 <= max always holds for operators.
+  return std::min(std::max(estimate, MinMicros()), MaxMicros());
+}
+
+double LatencyHistogram::total_micros() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         1e3;
+}
+
+double LatencyHistogram::MeanMicros() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : total_micros() / static_cast<double>(n);
+}
+
+double LatencyHistogram::MinMicros() const {
+  if (max_nanos_.load(std::memory_order_relaxed) < 0) return 0.0;
+  return static_cast<double>(min_nanos_.load(std::memory_order_relaxed)) /
+         1e3;
+}
+
+double LatencyHistogram::MaxMicros() const {
+  const int64_t nanos = max_nanos_.load(std::memory_order_relaxed);
+  return nanos < 0 ? 0.0 : static_cast<double>(nanos) / 1e3;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+  min_nanos_.store(std::numeric_limits<int64_t>::max(),
+                   std::memory_order_relaxed);
+  max_nanos_.store(-1, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  auto owned = std::make_unique<Counter>();
+  Counter* raw = owned.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_counters_.push_back(std::move(owned));
+  entries_.push_back(
+      {Entry::Type::kCounter, name, help, labels, raw, nullptr, nullptr,
+       nullptr});
+  return raw;
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels) {
+  auto owned = std::make_unique<Gauge>();
+  Gauge* raw = owned.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_gauges_.push_back(std::move(owned));
+  entries_.push_back(
+      {Entry::Type::kGauge, name, help, labels, nullptr, raw, nullptr,
+       nullptr});
+  return raw;
+}
+
+LatencyHistogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                                const std::string& help,
+                                                const std::string& labels) {
+  auto owned = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* raw = owned.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_histograms_.push_back(std::move(owned));
+  entries_.push_back(
+      {Entry::Type::kHistogram, name, help, labels, nullptr, nullptr, raw,
+       nullptr});
+  return raw;
+}
+
+void MetricsRegistry::Register(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& labels,
+                                      const Counter* counter) {
+  Register({Entry::Type::kCounter, name, help, labels, counter, nullptr,
+            nullptr, nullptr});
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const std::string& help,
+                                    const std::string& labels,
+                                    const Gauge* gauge) {
+  Register({Entry::Type::kGauge, name, help, labels, nullptr, gauge,
+            nullptr, nullptr});
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name,
+                                        const std::string& help,
+                                        const std::string& labels,
+                                        const LatencyHistogram* histogram) {
+  Register({Entry::Type::kHistogram, name, help, labels, nullptr, nullptr,
+            histogram, nullptr});
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            const std::string& help,
+                                            const std::string& labels,
+                                            std::function<double()> fn) {
+  Register({Entry::Type::kCallbackGauge, name, help, labels, nullptr,
+            nullptr, nullptr, std::move(fn)});
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  std::string last_header;  // HELP/TYPE emitted once per metric family
+  for (const Entry& entry : entries_) {
+    switch (entry.type) {
+      case Entry::Type::kCounter: {
+        const std::string family = entry.name + "_total";
+        if (family != last_header) {
+          out << "# HELP " << family << " " << entry.help << "\n";
+          out << "# TYPE " << family << " counter\n";
+          last_header = family;
+        }
+        out << SampleName(family, entry.labels) << " "
+            << FormatValue(static_cast<double>(entry.counter->load()))
+            << "\n";
+        break;
+      }
+      case Entry::Type::kGauge:
+      case Entry::Type::kCallbackGauge: {
+        if (entry.name != last_header) {
+          out << "# HELP " << entry.name << " " << entry.help << "\n";
+          out << "# TYPE " << entry.name << " gauge\n";
+          last_header = entry.name;
+        }
+        const double value = entry.type == Entry::Type::kGauge
+                                 ? entry.gauge->value()
+                                 : entry.callback();
+        out << SampleName(entry.name, entry.labels) << " "
+            << FormatValue(value) << "\n";
+        break;
+      }
+      case Entry::Type::kHistogram: {
+        const LatencyHistogram* h = entry.histogram;
+        if (entry.name != last_header) {
+          out << "# HELP " << entry.name << " " << entry.help << "\n";
+          out << "# TYPE " << entry.name << " summary\n";
+          last_header = entry.name;
+        }
+        for (double q : {0.5, 0.9, 0.99}) {
+          char quantile[32];
+          std::snprintf(quantile, sizeof(quantile), "quantile=\"%g\"", q);
+          out << SampleName(entry.name, entry.labels, quantile) << " "
+              << FormatValue(h->PercentileMicros(q)) << "\n";
+        }
+        out << SampleName(entry.name + "_sum", entry.labels) << " "
+            << FormatValue(h->total_micros()) << "\n";
+        out << SampleName(entry.name + "_count", entry.labels) << " "
+            << FormatValue(static_cast<double>(h->count())) << "\n";
+        for (const char* suffix : {"_min", "_max"}) {
+          const std::string gauge_name = entry.name + suffix;
+          out << "# HELP " << gauge_name << " " << entry.help
+              << (suffix[1] == 'm' && suffix[2] == 'i' ? " (min)"
+                                                       : " (max)")
+              << "\n";
+          out << "# TYPE " << gauge_name << " gauge\n";
+          out << SampleName(gauge_name, entry.labels) << " "
+              << FormatValue(suffix[1] == 'm' && suffix[2] == 'i'
+                                 ? h->MinMicros()
+                                 : h->MaxMicros())
+              << "\n";
+        }
+        last_header = entry.name + "_max";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const Entry& entry : entries_) {
+    if (!first) out << ",";
+    first = false;
+    const std::string key =
+        JsonEscape(SampleName(entry.name, entry.labels));
+    out << "\n  \"" << key << "\": ";
+    switch (entry.type) {
+      case Entry::Type::kCounter:
+        out << entry.counter->load();
+        break;
+      case Entry::Type::kGauge:
+        out << FormatValue(entry.gauge->value());
+        break;
+      case Entry::Type::kCallbackGauge:
+        out << FormatValue(entry.callback());
+        break;
+      case Entry::Type::kHistogram: {
+        const LatencyHistogram* h = entry.histogram;
+        out << "{\"count\": " << h->count()
+            << ", \"sum\": " << FormatValue(h->total_micros())
+            << ", \"mean\": " << FormatValue(h->MeanMicros())
+            << ", \"min\": " << FormatValue(h->MinMicros())
+            << ", \"max\": " << FormatValue(h->MaxMicros())
+            << ", \"p50\": " << FormatValue(h->PercentileMicros(0.5))
+            << ", \"p90\": " << FormatValue(h->PercentileMicros(0.9))
+            << ", \"p99\": " << FormatValue(h->PercentileMicros(0.99))
+            << "}";
+        break;
+      }
+    }
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+Status MetricsRegistry::ValidateExposition(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  int samples = 0;
+  std::vector<std::string> typed_families;
+  auto family_typed = [&typed_families](const std::string& name) {
+    for (const std::string& family : typed_families) {
+      if (name == family) return true;
+      // Summary/auxiliary series share their family's TYPE-or-gauge
+      // header; _min/_max/_sum/_count carry their own or the family's.
+      if (name.size() > family.size() &&
+          name.compare(0, family.size(), family) == 0) {
+        const std::string suffix = name.substr(family.size());
+        if (suffix == "_sum" || suffix == "_count") return true;
+      }
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, name;
+      comment >> hash >> keyword >> name;
+      if (keyword == "TYPE") {
+        std::string type;
+        comment >> type;
+        if (type != "counter" && type != "gauge" && type != "summary" &&
+            type != "histogram" && type != "untyped") {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_no) +
+              ": unknown metric type '" + type + "'");
+        }
+        typed_families.push_back(name);
+      } else if (keyword != "HELP") {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": comment is neither HELP nor TYPE");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t pos = 0;
+    while (pos < line.size() &&
+           ValidMetricNameChar(line[pos], pos == 0)) {
+      ++pos;
+    }
+    if (pos == 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": invalid metric name");
+    }
+    const std::string name = line.substr(0, pos);
+    if (pos < line.size() && line[pos] == '{') {
+      bool in_quotes = false;
+      size_t close = std::string::npos;
+      for (size_t i = pos + 1; i < line.size(); ++i) {
+        if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) {
+          in_quotes = !in_quotes;
+        } else if (line[i] == '}' && !in_quotes) {
+          close = i;
+          break;
+        }
+      }
+      if (close == std::string::npos || in_quotes) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": unbalanced label braces/quotes");
+      }
+      pos = close + 1;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": missing value separator");
+    }
+    const std::string value_text = line.substr(pos + 1);
+    if (value_text.empty() ||
+        value_text.find(' ') != std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": malformed value field");
+    }
+    if (value_text != "NaN" && value_text != "+Inf" &&
+        value_text != "-Inf") {
+      char* end = nullptr;
+      std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": value does not parse as float");
+      }
+    }
+    if (!family_typed(name)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": sample '" + name +
+                                     "' has no preceding # TYPE");
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    return Status::InvalidArgument("exposition contains no samples");
+  }
+  return Status::OK();
+}
+
+}  // namespace one4all

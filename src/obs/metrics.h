@@ -1,0 +1,184 @@
+// Metrics primitives and the named-metric registry: lock-free counters,
+// gauges and log-bucketed latency histograms, registered under
+// Prometheus-style names (with optional label sets) and exportable as
+// Prometheus text exposition or a JSON dump. ServingTelemetry keeps its
+// struct-of-atomics shape by building its members from these types and
+// registering them here, so both the legacy snapshot API and the named
+// exposition read the same underlying atomics.
+#ifndef ONE4ALL_OBS_METRICS_H_
+#define ONE4ALL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace one4all {
+
+/// \brief Monotonic counter. API mirrors std::atomic<int64_t> so code
+/// written against the raw-atomic telemetry members (fetch_add/load/
+/// store) keeps compiling unchanged.
+class Counter {
+ public:
+  int64_t fetch_add(int64_t delta,
+                    std::memory_order order = std::memory_order_relaxed) {
+    return value_.fetch_add(delta, order);
+  }
+  int64_t load(std::memory_order order = std::memory_order_relaxed) const {
+    return value_.load(order);
+  }
+  void store(int64_t value,
+             std::memory_order order = std::memory_order_relaxed) {
+    value_.store(value, order);
+  }
+  int64_t value() const { return load(); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Instantaneous value (can go down). Double-valued so callback
+/// gauges and derived rates share one exposition path.
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Lock-free latency histogram over geometric microsecond buckets
+/// (factor ~1.19 per bucket, ~0.5 us .. ~70 s span) plus min/max gauges.
+/// Percentiles are read from a snapshot of the bucket counters, so
+/// Record() stays a handful of relaxed atomic ops on the serving hot
+/// path. Non-finite or negative samples are recorded as 0 (bucket 0)
+/// rather than poisoning the totals.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 104;
+
+  void Record(double micros);
+
+  /// \brief Upper bound (micros) of the bucket holding quantile `q` in
+  /// [0, 1], clamped into [MinMicros, MaxMicros] so reported quantiles
+  /// never exceed the largest observed sample; 0 when nothing was
+  /// recorded.
+  double PercentileMicros(double q) const;
+
+  int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_micros() const;
+  double MeanMicros() const;
+  /// \brief Smallest recorded sample (micros); 0 when empty.
+  double MinMicros() const;
+  /// \brief Largest recorded sample (micros); 0 when empty.
+  double MaxMicros() const;
+
+  void Reset();
+
+ private:
+  static int BucketFor(double micros);
+  static double BucketUpperMicros(int bucket);
+
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  // Accumulated in integer nanoseconds so the total stays a lock-free
+  // fetch_add (no atomic<double> needed). Min/max use the same unit and
+  // relaxed CAS loops; max_nanos_ == -1 marks the empty histogram.
+  std::atomic<int64_t> total_nanos_{0};
+  std::atomic<int64_t> min_nanos_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_nanos_{-1};
+};
+
+/// \brief Named-metric registry. Metrics either live elsewhere and are
+/// registered by pointer (ServingTelemetry members), are owned here
+/// (AddCounter/AddGauge/AddHistogram), or are computed at scrape time
+/// (RegisterCallbackGauge). Registration takes a short lock; scraping
+/// reads the live atomics, so it can run concurrently with the hot path.
+///
+/// Exposition: counters render as `<name>_total`, gauges as `<name>`,
+/// histograms as a Prometheus summary (`quantile` labels + _sum/_count)
+/// plus `<name>_min`/`<name>_max` gauges. Entries sharing a base name
+/// (label variants) share one HELP/TYPE header.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \param labels Raw Prometheus label body without braces, e.g.
+  /// `kind="TopK"`; empty for no labels. Applies to every Register*/Add*.
+  Counter* AddCounter(const std::string& name, const std::string& help,
+                      const std::string& labels = "");
+  Gauge* AddGauge(const std::string& name, const std::string& help,
+                  const std::string& labels = "");
+  LatencyHistogram* AddHistogram(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels = "");
+
+  void RegisterCounter(const std::string& name, const std::string& help,
+                       const std::string& labels, const Counter* counter);
+  void RegisterGauge(const std::string& name, const std::string& help,
+                     const std::string& labels, const Gauge* gauge);
+  void RegisterHistogram(const std::string& name, const std::string& help,
+                         const std::string& labels,
+                         const LatencyHistogram* histogram);
+  /// \brief Gauge whose value is computed at scrape time; `fn` must stay
+  /// callable for the registry's lifetime and be thread-safe.
+  void RegisterCallbackGauge(const std::string& name,
+                             const std::string& help,
+                             const std::string& labels,
+                             std::function<double()> fn);
+
+  /// \brief Prometheus text exposition (format 0.0.4).
+  std::string ExpositionText() const;
+  /// \brief JSON object keyed by metric name (label variants become
+  /// `name{labels}` keys); histograms expand to count/sum/min/max/
+  /// quantile fields.
+  std::string JsonText() const;
+
+  size_t num_metrics() const;
+
+  /// \brief Structural validation of Prometheus text exposition: every
+  /// non-comment line must be `name[{labels}] value`, every sample must
+  /// be preceded by a TYPE for its metric family, label braces/quotes
+  /// must balance and values must parse as floats. Used by tests and the
+  /// CI scrape smoke.
+  static Status ValidateExposition(const std::string& text);
+
+ private:
+  struct Entry {
+    enum class Type { kCounter, kGauge, kCallbackGauge, kHistogram };
+    Type type;
+    std::string name;
+    std::string help;
+    std::string labels;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const LatencyHistogram* histogram = nullptr;
+    std::function<double()> callback;
+  };
+
+  void Register(Entry entry);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  ///< registration order == render order
+  std::vector<std::unique_ptr<Counter>> owned_counters_;
+  std::vector<std::unique_ptr<Gauge>> owned_gauges_;
+  std::vector<std::unique_ptr<LatencyHistogram>> owned_histograms_;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_OBS_METRICS_H_

@@ -29,9 +29,14 @@ double FoldSeries(const std::vector<double>& series, TimeAggregation agg);
 /// cannot diverge when QueryRow grows a field.
 QueryRow MakeRow(const std::vector<double>& series, TimeAggregation agg,
                  bool keep_series, const ResolvedQuery& rq,
-                 const SlotResolution& slot, double eval_micros) {
+                 const SlotResolution& slot, double eval_micros,
+                 TraceContext* trace) {
   QueryRow row;
-  row.value = FoldSeries(series, agg);
+  {
+    ScopedSpan fold_span(trace, SpanName::kFold,
+                         static_cast<int64_t>(series.size()));
+    row.value = FoldSeries(series, agg);
+  }
   if (keep_series) row.series = series;
   row.num_pieces = rq.num_pieces;
   row.num_terms = static_cast<int>(rq.terms.size());
@@ -128,8 +133,10 @@ double RectSumOnFrame(const float* data, int64_t width,
 constexpr int64_t kMaxFastPathGathers = int64_t{1} << 20;
 
 /// \brief Stage 3: top-k rank (no-op unless the plan is a kTopK spec).
-void RankTopK(const QueryPlan& plan, QueryResult* result) {
+void RankTopK(const QueryPlan& plan, TraceContext* trace,
+              QueryResult* result) {
   if (plan.spec.kind != QuerySpecKind::kTopK) return;
+  ScopedSpan rank_span(trace, SpanName::kRank, plan.spec.top_k);
   Stopwatch stage_timer;
   std::vector<int> order;
   order.reserve(result->rows.size());
@@ -171,21 +178,33 @@ QueryResult QueryExecutor::Execute(const QueryPlan& plan,
   // -- Stage 1: cache-probe / resolve each distinct region ---------------
   Stopwatch stage_timer;
   std::vector<SlotResolution> slots(plan.slot_regions.size());
-  query_internal::RunSharded(
-      options.pool, options.num_threads,
-      static_cast<int64_t>(slots.size()), [&](int64_t begin, int64_t end) {
-        for (int64_t s = begin; s < end; ++s) {
-          SlotResolution& slot = slots[static_cast<size_t>(s)];
-          const GridMask& region =
-              plan.RegionForSlot(static_cast<int>(s));
-          Stopwatch probe;
-          slot.resolved = server_->ResolveCached(
-              region, plan.spec.strategy, options.cache, &slot.cache_hit);
-          // Captured before evaluation so a hit reports only the
-          // resolve-path latency, comparable to decompose+index.
-          slot.probe_micros = probe.ElapsedMicros();
-        }
-      });
+  {
+    ScopedSpan resolve_span(options.trace, SpanName::kResolve,
+                            static_cast<int64_t>(slots.size()));
+    query_internal::RunSharded(
+        options.pool, options.num_threads,
+        static_cast<int64_t>(slots.size()),
+        [&](int64_t begin, int64_t end) {
+          // Each shard spans against its own copy of the trace context:
+          // ScopedSpan mutates parent_span, which must stay thread-local.
+          TraceContext shard_trace;
+          if (options.trace != nullptr) shard_trace = *options.trace;
+          for (int64_t s = begin; s < end; ++s) {
+            SlotResolution& slot = slots[static_cast<size_t>(s)];
+            const GridMask& region =
+                plan.RegionForSlot(static_cast<int>(s));
+            ScopedSpan probe_span(&shard_trace, SpanName::kCacheProbe);
+            Stopwatch probe;
+            slot.resolved = server_->ResolveCached(
+                region, plan.spec.strategy, options.cache,
+                &slot.cache_hit);
+            // Captured before evaluation so a hit reports only the
+            // resolve-path latency, comparable to decompose+index.
+            slot.probe_micros = probe.ElapsedMicros();
+            probe_span.set_arg(slot.cache_hit ? 1 : 0);
+          }
+        });
+  }
   result.timings.resolve_micros = stage_timer.ElapsedMicros();
   if (options.cache != nullptr) {
     for (const SlotResolution& slot : slots) {
@@ -205,6 +224,8 @@ QueryResult QueryExecutor::Execute(const QueryPlan& plan,
 
   if (plan.path == EvalPath::kSatFastPath &&
       plan.num_point_queries() <= kMaxFastPathGathers) {
+    ScopedSpan gather_span(options.trace, SpanName::kGather,
+                           plan.num_point_queries());
     // Fast path, phase 1: collect every (layer, t) the plan touches and
     // fetch frames/planes for them once, in parallel. Rows only read the
     // table afterwards, so no synchronization is needed in phase 2.
@@ -314,6 +335,8 @@ QueryResult QueryExecutor::Execute(const QueryPlan& plan,
         options.pool, options.num_threads,
         static_cast<int64_t>(plan.rows.size()),
         [&](int64_t begin, int64_t end) {
+          TraceContext shard_trace;
+          if (options.trace != nullptr) shard_trace = *options.trace;
           std::vector<double> series;
           std::vector<const FrameTableEntry*> layer_bases;
           for (int64_t i = begin; i < end; ++i) {
@@ -391,19 +414,25 @@ QueryResult QueryExecutor::Execute(const QueryPlan& plan,
             }
             result.rows[static_cast<size_t>(i)] =
                 MakeRow(series, plan.spec.aggregation, keep_series, rq,
-                        slot, eval_micros);
+                        slot, eval_micros, &shard_trace);
           }
         });
+    gather_span.Close();
     result.timings.eval_micros = stage_timer.ElapsedMicros();
-    RankTopK(plan, &result);
+    RankTopK(plan, options.trace, &result);
     result.timings.total_micros = total_timer.ElapsedMicros();
     return result;
   }
+
+  ScopedSpan gather_span(options.trace, SpanName::kGather,
+                         plan.num_point_queries());
 
   query_internal::RunSharded(
       options.pool, options.num_threads,
       static_cast<int64_t>(plan.rows.size()),
       [&](int64_t begin, int64_t end) {
+        TraceContext shard_trace;
+        if (options.trace != nullptr) shard_trace = *options.trace;
         query_internal::FrameMemo memo(server_->store(), options.generation);
         std::vector<double> series;
         for (int64_t i = begin; i < end; ++i) {
@@ -436,11 +465,12 @@ QueryResult QueryExecutor::Execute(const QueryPlan& plan,
           }
           result.rows[static_cast<size_t>(i)] =
               MakeRow(series, plan.spec.aggregation, keep_series, rq,
-                      slot, eval_micros);
+                      slot, eval_micros, &shard_trace);
         }
       });
+  gather_span.Close();
   result.timings.eval_micros = stage_timer.ElapsedMicros();
-  RankTopK(plan, &result);
+  RankTopK(plan, options.trace, &result);
   result.timings.total_micros = total_timer.ElapsedMicros();
   return result;
 }

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "query/query_planner.h"
 #include "query/query_server.h"
 #include "query/query_spec.h"
@@ -33,6 +34,11 @@ struct QueryExecutorOptions {
   /// Prediction-store generation every frame read goes through (the
   /// serving runtime pins an epoch and passes its generation here).
   int64_t generation = 0;
+  /// Open trace of the enclosing query; stage spans (resolve / gather /
+  /// fold / rank) nest under its current parent span. Null traces
+  /// nothing. Worker shards span against thread-local copies, so the
+  /// pointed-to context itself is only mutated by the calling thread.
+  TraceContext* trace = nullptr;
 };
 
 /// \brief One result row: the (aggregated) predicted value of one region

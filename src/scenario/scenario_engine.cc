@@ -106,7 +106,7 @@ class EngineRun {
         zipf_(static_cast<int64_t>(world_.regions.size()),
               spec.regions.zipf_exponent) {}
 
-  ScenarioVerdict Run() {
+  ScenarioVerdict Run(std::string* metrics_exposition = nullptr) {
     Stopwatch wall;
     verdict_.scenario = spec_.name;
     verdict_.seed = spec_.seed;
@@ -148,6 +148,12 @@ class EngineRun {
     }
     pinned_.Release();
     runtime.Stop();
+
+    // Captured post-shutdown so the artifact reflects the complete run;
+    // goldens are unaffected (latency figures never enter CanonicalJson).
+    if (metrics_exposition != nullptr) {
+      *metrics_exposition = runtime.telemetry().registry().ExpositionText();
+    }
 
     const ServingTelemetrySnapshot telemetry = runtime.Telemetry();
     verdict_.epochs_published = telemetry.epochs_published;
@@ -543,10 +549,11 @@ class EngineRun {
 
 }  // namespace
 
-Result<ScenarioVerdict> RunScenario(const ScenarioSpec& spec) {
+Result<ScenarioVerdict> RunScenario(const ScenarioSpec& spec,
+                                    std::string* metrics_exposition) {
   O4A_RETURN_NOT_OK(spec.Validate());
   O4A_ASSIGN_OR_RETURN(World world, BuildWorld(spec));
-  return EngineRun(spec, std::move(world)).Run();
+  return EngineRun(spec, std::move(world)).Run(metrics_exposition);
 }
 
 }  // namespace one4all

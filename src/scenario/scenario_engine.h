@@ -16,6 +16,8 @@
 #ifndef ONE4ALL_SCENARIO_SCENARIO_ENGINE_H_
 #define ONE4ALL_SCENARIO_SCENARIO_ENGINE_H_
 
+#include <string>
+
 #include "core/status.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/verdict.h"
@@ -26,7 +28,14 @@ namespace one4all {
 /// spec the world cannot host, e.g. more ingest steps than test slots);
 /// runtime misbehavior never errors — it lands in the verdict's
 /// invariant checks so the golden matrix can pin it.
-Result<ScenarioVerdict> RunScenario(const ScenarioSpec& spec);
+///
+/// When `metrics_exposition` is non-null it receives the runtime's full
+/// Prometheus text exposition, captured after shutdown — the per-scenario
+/// metrics artifact the runner writes next to the verdict. Latency
+/// quantiles inside it are wall-clock dependent, so the artifact is
+/// diagnostic only and never part of the canonical (golden) verdict.
+Result<ScenarioVerdict> RunScenario(const ScenarioSpec& spec,
+                                    std::string* metrics_exposition = nullptr);
 
 }  // namespace one4all
 

@@ -64,6 +64,7 @@ Status FrameEpochManager::Staging::TryStageFrame(int layer, int64_t t,
     // reader can observe the plane before its epoch publishes. A refusal
     // here leaves the frame without its plane — fine, because the only
     // recovery is aborting the staging, which drops both.
+    ScopedSpan sat_span(trace_ctx_, SpanName::kBuildSatPlane, layer);
     O4A_RETURN_NOT_OK(manager_->store_->TrySyncSatPlaneAt(
         generation_, layer, t, BuildSatPlane(frame)));
     if (manager_->telemetry_ != nullptr) {
@@ -84,7 +85,11 @@ Status FrameEpochManager::Staging::TryStageFrame(int layer, int64_t t,
 FrameEpochManager::FrameEpochManager(PredictionStore* store,
                                      ServingTelemetry* telemetry,
                                      FrameEpochManagerOptions options)
-    : store_(store), telemetry_(telemetry), options_(options) {
+    : store_(store),
+      telemetry_(telemetry),
+      trace_(options.trace != nullptr ? options.trace
+                                      : &TraceRecorder::Global()),
+      options_(options) {
   O4A_CHECK(store != nullptr);
   epochs_[0] = EpochState{options.initial_latest_t, 0, false};
 }
@@ -197,6 +202,11 @@ void FrameEpochManager::Unpin(int64_t generation) {
 
 void FrameEpochManager::Reclaim(const std::vector<int64_t>& generations) {
   for (const int64_t generation : generations) {
+    // Reclamation is its own root span (epoch category): it can run on a
+    // publisher or on whichever reader thread unpins last, so it belongs
+    // to no query/publish tree.
+    TraceContext ctx = trace_->StartTrace(SpanCategory::kEpoch);
+    ScopedSpan reclaim_span(&ctx, SpanName::kReclaim, generation);
     store_->DropGeneration(generation);
     if (telemetry_ != nullptr) {
       telemetry_->epochs_reclaimed.fetch_add(1, std::memory_order_relaxed);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "kvstore/prediction_store.h"
+#include "obs/trace.h"
 #include "serve/telemetry.h"
 
 namespace one4all {
@@ -39,6 +40,9 @@ struct FrameEpochManagerOptions {
   /// has a frame's plane in full or (with this off) not at all — never a
   /// torn one; carry-forward and reclamation treat planes like frames.
   bool build_sat_planes = true;
+  /// Span sink for reclaim events and staged-plane builds; null uses
+  /// TraceRecorder::Global(). Must outlive the manager.
+  TraceRecorder* trace = nullptr;
 };
 
 /// \brief RAII pin on one published epoch. While alive, every frame of
@@ -108,7 +112,9 @@ class FrameEpochManager {
         manager_ = other.manager_;
         generation_ = other.generation_;
         latest_t_ = other.latest_t_;
+        trace_ctx_ = other.trace_ctx_;
         other.manager_ = nullptr;
+        other.trace_ctx_ = nullptr;
       }
       return *this;
     }
@@ -129,6 +135,11 @@ class FrameEpochManager {
     /// generation was never published, no reader can have observed it.
     Status TryStageFrame(int layer, int64_t t, const Tensor& frame);
 
+    /// \brief Attaches the publish attempt's trace context so staged
+    /// SAT-plane builds record kBuildSatPlane child spans. The context
+    /// must outlive this staging; null (the default) records nothing.
+    void set_trace(TraceContext* ctx) { trace_ctx_ = ctx; }
+
    private:
     friend class FrameEpochManager;
     Staging(FrameEpochManager* manager, int64_t generation,
@@ -142,6 +153,7 @@ class FrameEpochManager {
     FrameEpochManager* manager_ = nullptr;
     int64_t generation_ = 0;
     int64_t latest_t_ = -1;  ///< max staged (or carried) timestep
+    TraceContext* trace_ctx_ = nullptr;  ///< not owned; may be null
   };
 
   /// \brief Opens the shadow generation of the next epoch. With
@@ -184,6 +196,7 @@ class FrameEpochManager {
 
   PredictionStore* store_;
   ServingTelemetry* telemetry_;
+  TraceRecorder* trace_;  ///< never null (options.trace or Global())
   FrameEpochManagerOptions options_;
   mutable std::mutex mu_;
   int64_t next_generation_ = 1;

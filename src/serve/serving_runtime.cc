@@ -15,18 +15,23 @@ ServingRuntime::ServingRuntime(const Hierarchy* hierarchy,
     : hierarchy_(hierarchy),
       dataset_(dataset),
       options_(options),
+      trace_(options.trace != nullptr ? options.trace
+                                      : &TraceRecorder::Global()),
       store_(&kv_),
       epochs_(&store_, &telemetry_,
               FrameEpochManagerOptions{-1, options.retain_timesteps,
-                                       options.build_sat_planes}),
+                                       options.build_sat_planes, trace_}),
       cache_(options.cache) {
   O4A_CHECK(hierarchy != nullptr);
   O4A_CHECK(index != nullptr);
   O4A_CHECK(dataset != nullptr);
   O4A_CHECK_GT(options_.max_inflight_queries, 0);
   server_ = std::make_unique<RegionQueryServer>(hierarchy, index, &store_);
+  StreamIngestorOptions ingest_options = options.ingest;
+  ingest_options.trace = trace_;
   ingestor_ = std::make_unique<StreamIngestor>(
-      dataset, std::move(inference), &epochs_, &telemetry_, options.ingest);
+      dataset, std::move(inference), &epochs_, &telemetry_,
+      ingest_options);
 }
 
 ServingRuntime::~ServingRuntime() { Stop(); }
@@ -67,7 +72,14 @@ void ServingRuntime::ReleaseQueries(int64_t cost) {
 Result<std::vector<Result<QueryResponse>>> ServingRuntime::QueryBatch(
     const std::vector<BatchQuery>& queries) {
   const int64_t n = static_cast<int64_t>(queries.size());
-  O4A_RETURN_NOT_OK(AdmitQueries(n, n));
+  TraceContext trace_ctx = trace_->StartTrace(SpanCategory::kQuery);
+  ScopedSpan query_span(&trace_ctx, SpanName::kQuery, n);
+  Status admitted;
+  {
+    ScopedSpan admission_span(&trace_ctx, SpanName::kAdmission, n);
+    admitted = AdmitQueries(n, n);
+  }
+  O4A_RETURN_NOT_OK(admitted);
   telemetry_.CountSpec(QuerySpecKind::kPointBatch);
 
   std::vector<Result<QueryResponse>> results;
@@ -75,12 +87,16 @@ Result<std::vector<Result<QueryResponse>>> ServingRuntime::QueryBatch(
     // Pin one epoch for the whole batch: every frame read below goes
     // through its generation, so the batch can never mix a half-
     // published timestep into its answers.
+    ScopedSpan pin_span(&trace_ctx, SpanName::kEpochPin);
     EpochGuard epoch = epochs_.Pin();
+    pin_span.set_arg(epoch.generation());
+    pin_span.Close();
     BatchOptions batch_options;
     batch_options.num_threads = options_.num_query_threads;
     batch_options.cache = &cache_;
     batch_options.generation = epoch.generation();
     std::shared_lock<std::shared_mutex> server_lock(server_mu_);
+    ScopedSpan gather_span(&trace_ctx, SpanName::kGather, n);
     results = server_->BatchPredict(queries, options_.strategy,
                                     batch_options);
   }
@@ -107,17 +123,28 @@ Result<QueryResult> ServingRuntime::ExecuteSpec(QuerySpec spec) {
   O4A_RETURN_NOT_OK(spec.Validate(*hierarchy_));
   const int64_t num_rows = static_cast<int64_t>(spec.regions.size());
   const int64_t steps = spec.time.num_steps();
+  TraceContext trace_ctx = trace_->StartTrace(SpanCategory::kQuery);
+  ScopedSpan query_span(&trace_ctx, SpanName::kQuery, num_rows);
   // Overflow-safe cost: a product that cannot fit the budget is clamped
   // to just past it — guaranteed rejection without int64 wraparound.
   const int64_t cost =
       num_rows > options_.max_inflight_queries / steps
           ? options_.max_inflight_queries + 1
           : num_rows * steps;
-  O4A_RETURN_NOT_OK(AdmitQueries(cost, num_rows));
+  Status admitted;
+  {
+    ScopedSpan admission_span(&trace_ctx, SpanName::kAdmission, cost);
+    admitted = AdmitQueries(cost, num_rows);
+  }
+  O4A_RETURN_NOT_OK(admitted);
   telemetry_.CountSpec(spec.kind);
 
   QueryPlanner planner(hierarchy_);
-  auto plan = planner.Plan(std::move(spec));
+  Result<QueryPlan> plan = Status::Internal("not planned");
+  {
+    ScopedSpan plan_span(&trace_ctx, SpanName::kPlan, num_rows);
+    plan = planner.Plan(std::move(spec));
+  }
   if (!plan.ok()) {
     ReleaseQueries(cost);
     return plan.status();
@@ -128,11 +155,15 @@ Result<QueryResult> ServingRuntime::ExecuteSpec(QuerySpec spec) {
     // Same consistency contract as QueryBatch: one pinned epoch covers
     // every frame gather of the plan, so a time-range answer can never
     // mix two epochs' frames.
+    ScopedSpan pin_span(&trace_ctx, SpanName::kEpochPin);
     EpochGuard epoch = epochs_.Pin();
+    pin_span.set_arg(epoch.generation());
+    pin_span.Close();
     QueryExecutorOptions exec_options;
     exec_options.num_threads = options_.num_query_threads;
     exec_options.cache = &cache_;
     exec_options.generation = epoch.generation();
+    exec_options.trace = &trace_ctx;
     std::shared_lock<std::shared_mutex> server_lock(server_mu_);
     result = QueryExecutor(server_.get()).Execute(*plan, exec_options);
   }

@@ -45,6 +45,10 @@ struct ServingRuntimeOptions {
   bool build_sat_planes = true;
   ResolvedQueryCacheOptions cache;
   StreamIngestorOptions ingest;
+  /// Span/trace sink shared by the query path, the ingestor and the
+  /// epoch manager; null uses TraceRecorder::Global(). Benches inject a
+  /// private recorder per phase; must outlive the runtime.
+  TraceRecorder* trace = nullptr;
 };
 
 /// \brief One4All-ST online serving: streaming ingestion + epoch-
@@ -102,6 +106,8 @@ class ServingRuntime {
     return telemetry_.Snapshot();
   }
   ServingTelemetry& telemetry() { return telemetry_; }
+  /// \brief The recorder every layer of this runtime emits spans into.
+  TraceRecorder& trace_recorder() { return *trace_; }
   ResolvedQueryCache& cache() { return cache_; }
   FrameEpochManager& epochs() { return epochs_; }
   StreamIngestor& ingestor() { return *ingestor_; }
@@ -141,6 +147,7 @@ class ServingRuntime {
   const Hierarchy* hierarchy_;
   const STDataset* dataset_;
   ServingRuntimeOptions options_;
+  TraceRecorder* trace_;  ///< never null (options.trace or Global())
 
   ServingTelemetry telemetry_;
   KvStore kv_;

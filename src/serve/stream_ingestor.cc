@@ -122,6 +122,8 @@ StreamIngestor::StreamIngestor(const STDataset* dataset,
       inference_(std::move(inference)),
       epochs_(epochs),
       telemetry_(telemetry),
+      trace_(options.trace != nullptr ? options.trace
+                                      : &TraceRecorder::Global()),
       options_(options) {
   O4A_CHECK(dataset != nullptr);
   O4A_CHECK(epochs != nullptr);
@@ -266,41 +268,65 @@ void StreamIngestor::Run() {
     if (!AwaitStepClearance()) break;
     const int64_t t = options_.start_t + step;
 
-    // One observation arrives... (Push overwrites idempotently, so the
-    // re-push on a retried timestep is harmless.)
-    window.Push(t, dataset_->FrameAtLayer(t, 1));
-    auto input = window.AssembleInput(t);
-    if (!input.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      status_ = input.status();
-      break;
-    }
-    // ...the model turns it into the next multi-scale frame set...
-    auto frames = inference_(t, *input);
-    if (!frames.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      status_ = frames.status();
-      break;
-    }
-
-    // ...which becomes one atomically-published epoch. A store write
-    // refusal is absorbed, not fatal: the half-staged shadow generation
-    // is dropped whole (readers never saw it), the failure is counted,
-    // and the same timestep is retried on the next clearance.
+    // The whole attempt is one kPublishEpoch trace (arg: timestep) with
+    // infer / stage-frames / publish child spans. Scoped to close before
+    // the pacing sleep below, so publish spans measure work, not cadence.
     Stopwatch publish_timer;
     Status publish_status;
+    bool fatal = false;
     {
-      FrameEpochManager::Staging staging =
-          epochs_->BeginEpoch(options_.carry_forward);
-      for (size_t i = 0; i < frames->size() && publish_status.ok(); ++i) {
-        publish_status =
-            staging.TryStageFrame(static_cast<int>(i) + 1, t, (*frames)[i]);
+      TraceContext trace_ctx = trace_->StartTrace(SpanCategory::kEpoch);
+      ScopedSpan epoch_span(&trace_ctx, SpanName::kPublishEpoch, t);
+
+      // One observation arrives... (Push overwrites idempotently, so the
+      // re-push on a retried timestep is harmless.)
+      window.Push(t, dataset_->FrameAtLayer(t, 1));
+      auto input = window.AssembleInput(t);
+      if (!input.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        status_ = input.status();
+        fatal = true;
       }
-      if (publish_status.ok()) {
-        epochs_->Publish(std::move(staging));
+      // ...the model turns it into the next multi-scale frame set...
+      Result<std::vector<Tensor>> frames =
+          Status::Internal("inference not attempted");
+      if (!fatal) {
+        ScopedSpan infer_span(&trace_ctx, SpanName::kInfer, t);
+        frames = inference_(t, *input);
       }
-      // else: `staging` aborts itself going out of scope.
+      if (!fatal && !frames.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        status_ = frames.status();
+        fatal = true;
+      }
+
+      // ...which becomes one atomically-published epoch. A store write
+      // refusal is absorbed, not fatal: the half-staged shadow
+      // generation is dropped whole (readers never saw it), the failure
+      // is counted, and the same timestep is retried on the next
+      // clearance.
+      if (!fatal) {
+        publish_timer.Restart();
+        FrameEpochManager::Staging staging =
+            epochs_->BeginEpoch(options_.carry_forward);
+        staging.set_trace(&trace_ctx);
+        {
+          ScopedSpan stage_span(&trace_ctx, SpanName::kStageFrames,
+                                static_cast<int64_t>(frames->size()));
+          for (size_t i = 0; i < frames->size() && publish_status.ok();
+               ++i) {
+            publish_status = staging.TryStageFrame(static_cast<int>(i) + 1,
+                                                   t, (*frames)[i]);
+          }
+        }
+        if (publish_status.ok()) {
+          ScopedSpan flip_span(&trace_ctx, SpanName::kPublish);
+          epochs_->Publish(std::move(staging));
+        }
+        // else: `staging` aborts itself going out of scope.
+      }
     }
+    if (fatal) break;
 
     if (publish_status.ok()) {
       if (telemetry_ != nullptr) {

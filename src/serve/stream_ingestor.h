@@ -91,6 +91,10 @@ struct StreamIngestorOptions {
   /// per cadence tick), which makes epoch progression deterministic
   /// while the ingestor still runs as a real background thread.
   bool manual_stepping = false;
+  /// Span sink for per-attempt publish trees (infer → stage frames →
+  /// publish); null uses TraceRecorder::Global(). Must outlive the
+  /// ingestor.
+  TraceRecorder* trace = nullptr;
 };
 
 /// \brief Background ingestion loop. Start() spawns the thread; Stop()
@@ -154,6 +158,7 @@ class StreamIngestor {
   FrameInference inference_;
   FrameEpochManager* epochs_;
   ServingTelemetry* telemetry_;
+  TraceRecorder* trace_;  ///< never null (options.trace or Global())
   StreamIngestorOptions options_;
 
   std::thread thread_;

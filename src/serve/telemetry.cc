@@ -1,71 +1,53 @@
 #include "serve/telemetry.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace one4all {
 
-namespace {
-// Geometric bucket layout: bucket b covers (kBase*kFactor^b, next].
-constexpr double kBaseMicros = 0.5;
-constexpr double kFactor = 1.19;
-const double kInvLogFactor = 1.0 / std::log(kFactor);
-}  // namespace
-
-int LatencyHistogram::BucketFor(double micros) {
-  if (!(micros > kBaseMicros)) return 0;
-  const int bucket =
-      static_cast<int>(std::log(micros / kBaseMicros) * kInvLogFactor) + 1;
-  return std::min(bucket, kNumBuckets - 1);
-}
-
-double LatencyHistogram::BucketUpperMicros(int bucket) {
-  return kBaseMicros * std::pow(kFactor, bucket);
-}
-
-void LatencyHistogram::Record(double micros) {
-  micros = std::max(micros, 0.0);
-  buckets_[static_cast<size_t>(BucketFor(micros))].fetch_add(
-      1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_nanos_.fetch_add(static_cast<int64_t>(micros * 1e3),
-                         std::memory_order_relaxed);
-}
-
-double LatencyHistogram::PercentileMicros(double q) const {
-  q = std::min(1.0, std::max(0.0, q));
-  std::array<int64_t, kNumBuckets> snapshot;
-  int64_t total = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    snapshot[static_cast<size_t>(b)] =
-        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
-    total += snapshot[static_cast<size_t>(b)];
+ServingTelemetry::ServingTelemetry() {
+  registry_.RegisterCounter("one4all_queries_served",
+                            "Queries answered with an OK response", "",
+                            &queries_served);
+  registry_.RegisterCounter("one4all_queries_failed",
+                            "Admitted queries answered with an error", "",
+                            &queries_failed);
+  registry_.RegisterCounter("one4all_queries_rejected",
+                            "Queries refused by admission control", "",
+                            &queries_rejected);
+  registry_.RegisterCounter("one4all_batches_admitted",
+                            "Query batches past admission control", "",
+                            &batches_admitted);
+  registry_.RegisterCounter("one4all_batches_rejected",
+                            "Query batches refused by admission control",
+                            "", &batches_rejected);
+  registry_.RegisterCounter("one4all_epochs_published",
+                            "Epochs atomically published", "",
+                            &epochs_published);
+  registry_.RegisterCounter("one4all_epochs_reclaimed",
+                            "Retired epoch generations reclaimed", "",
+                            &epochs_reclaimed);
+  registry_.RegisterCounter("one4all_frames_staged",
+                            "Layer frames staged into epochs", "",
+                            &frames_staged);
+  registry_.RegisterCounter("one4all_sat_planes_built",
+                            "Summed-area planes built alongside frames",
+                            "", &sat_planes_built);
+  registry_.RegisterCounter("one4all_publish_failures",
+                            "Publish attempts absorbed after a store "
+                            "write refusal",
+                            "", &publish_failures);
+  for (int k = 0; k < kNumQuerySpecKinds; ++k) {
+    registry_.RegisterCounter(
+        "one4all_specs", "Executed query specs by kind",
+        std::string("kind=\"") +
+            QuerySpecKindName(static_cast<QuerySpecKind>(k)) + "\"",
+        &specs_by_kind[static_cast<size_t>(k)]);
   }
-  if (total == 0) return 0.0;
-  const int64_t rank = std::max<int64_t>(
-      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
-  int64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    seen += snapshot[static_cast<size_t>(b)];
-    if (seen >= rank) return BucketUpperMicros(b);
-  }
-  return BucketUpperMicros(kNumBuckets - 1);
-}
-
-double LatencyHistogram::total_micros() const {
-  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
-         1e3;
-}
-
-double LatencyHistogram::MeanMicros() const {
-  const int64_t n = count();
-  return n == 0 ? 0.0 : total_micros() / static_cast<double>(n);
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  total_nanos_.store(0, std::memory_order_relaxed);
+  registry_.RegisterHistogram("one4all_query_latency_micros",
+                              "Per-query response time in microseconds",
+                              "", &query_latency);
+  registry_.RegisterHistogram(
+      "one4all_publish_latency_micros",
+      "Per-epoch stage+publish latency in microseconds", "",
+      &publish_latency);
 }
 
 ServingTelemetrySnapshot ServingTelemetry::Snapshot() const {
@@ -90,8 +72,12 @@ ServingTelemetrySnapshot ServingTelemetry::Snapshot() const {
   snap.query_p50_micros = query_latency.PercentileMicros(0.50);
   snap.query_p99_micros = query_latency.PercentileMicros(0.99);
   snap.query_mean_micros = query_latency.MeanMicros();
+  snap.query_min_micros = query_latency.MinMicros();
+  snap.query_max_micros = query_latency.MaxMicros();
   snap.publish_p50_micros = publish_latency.PercentileMicros(0.50);
   snap.publish_p99_micros = publish_latency.PercentileMicros(0.99);
+  snap.publish_min_micros = publish_latency.MinMicros();
+  snap.publish_max_micros = publish_latency.MaxMicros();
   return snap;
 }
 
@@ -140,10 +126,16 @@ TablePrinter ServingTelemetrySnapshot::Render(
   table.AddRow({"query p99 (us)", TablePrinter::Num(query_p99_micros, 1)});
   table.AddRow({"query mean (us)",
                 TablePrinter::Num(query_mean_micros, 1)});
+  table.AddRow({"query min (us)", TablePrinter::Num(query_min_micros, 1)});
+  table.AddRow({"query max (us)", TablePrinter::Num(query_max_micros, 1)});
   table.AddRow({"publish p50 (us)",
                 TablePrinter::Num(publish_p50_micros, 1)});
   table.AddRow({"publish p99 (us)",
                 TablePrinter::Num(publish_p99_micros, 1)});
+  table.AddRow({"publish min (us)",
+                TablePrinter::Num(publish_min_micros, 1)});
+  table.AddRow({"publish max (us)",
+                TablePrinter::Num(publish_max_micros, 1)});
   return table;
 }
 

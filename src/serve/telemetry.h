@@ -1,7 +1,9 @@
-// Telemetry block of the online serving runtime: lock-free atomic
-// counters plus log-bucketed latency histograms, cheap enough to update
-// on every query under concurrent load, snapshot-readable at any time,
-// and printable via core/table_printer.
+// Telemetry block of the online serving runtime: lock-free counters
+// plus log-bucketed latency histograms, cheap enough to update on every
+// query under concurrent load, snapshot-readable at any time, printable
+// via core/table_printer — and registered under Prometheus-style names
+// in an obs::MetricsRegistry so the same atomics back the text
+// exposition and JSON dump.
 #ifndef ONE4ALL_SERVE_TELEMETRY_H_
 #define ONE4ALL_SERVE_TELEMETRY_H_
 
@@ -11,42 +13,10 @@
 #include <string>
 
 #include "core/table_printer.h"
+#include "obs/metrics.h"
 #include "query/query_spec.h"
 
 namespace one4all {
-
-/// \brief Lock-free latency histogram over geometric microsecond buckets
-/// (factor ~1.19 per bucket, ~0.5 us .. ~70 s span). Percentiles are
-/// read from a snapshot of the bucket counters, so Record() stays a
-/// single relaxed atomic increment on the serving hot path.
-class LatencyHistogram {
- public:
-  static constexpr int kNumBuckets = 104;
-
-  void Record(double micros);
-
-  /// \brief Upper bound (micros) of the bucket holding quantile `q` in
-  /// [0, 1]; 0 when nothing was recorded.
-  double PercentileMicros(double q) const;
-
-  int64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-  double total_micros() const;
-  double MeanMicros() const;
-
-  void Reset();
-
- private:
-  static int BucketFor(double micros);
-  static double BucketUpperMicros(int bucket);
-
-  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
-  std::atomic<int64_t> count_{0};
-  // Accumulated in integer nanoseconds so the total stays a lock-free
-  // fetch_add (no atomic<double> needed).
-  std::atomic<int64_t> total_nanos_{0};
-};
 
 /// \brief Point-in-time copy of every serving counter.
 struct ServingTelemetrySnapshot {
@@ -70,8 +40,12 @@ struct ServingTelemetrySnapshot {
   double query_p50_micros = 0.0;  ///< per-query response time (paper sense)
   double query_p99_micros = 0.0;
   double query_mean_micros = 0.0;
+  double query_min_micros = 0.0;  ///< fastest observed query
+  double query_max_micros = 0.0;  ///< slowest observed query (true max)
   double publish_p50_micros = 0.0;  ///< stage+publish latency per epoch
   double publish_p99_micros = 0.0;
+  double publish_min_micros = 0.0;
+  double publish_max_micros = 0.0;
 
   /// \brief Fraction of admitted queries answered OK. Guarded: an idle
   /// runtime (nothing admitted yet) reports 0.0, never NaN.
@@ -90,22 +64,28 @@ struct ServingTelemetrySnapshot {
 /// manager all write into one of these. Every member is individually
 /// atomic; Snapshot() is a relaxed read of each (counters are
 /// monotonic, so a snapshot is always a sane, if not instantaneous,
-/// view).
+/// view). The constructor registers each member in registry() under a
+/// `one4all_`-prefixed metric name, so ExpositionText()/JsonText() read
+/// the very same atomics the snapshot does.
 class ServingTelemetry {
  public:
-  std::atomic<int64_t> queries_served{0};
-  std::atomic<int64_t> queries_failed{0};
-  std::atomic<int64_t> queries_rejected{0};
-  std::atomic<int64_t> batches_admitted{0};
-  std::atomic<int64_t> batches_rejected{0};
-  std::atomic<int64_t> epochs_published{0};
-  std::atomic<int64_t> epochs_reclaimed{0};
-  std::atomic<int64_t> frames_staged{0};
-  std::atomic<int64_t> sat_planes_built{0};
-  std::atomic<int64_t> publish_failures{0};
+  ServingTelemetry();
+  ServingTelemetry(const ServingTelemetry&) = delete;
+  ServingTelemetry& operator=(const ServingTelemetry&) = delete;
+
+  Counter queries_served;
+  Counter queries_failed;
+  Counter queries_rejected;
+  Counter batches_admitted;
+  Counter batches_rejected;
+  Counter epochs_published;
+  Counter epochs_reclaimed;
+  Counter frames_staged;
+  Counter sat_planes_built;
+  Counter publish_failures;
   /// Executed specs by QuerySpecKind (legacy QueryBatch counts as
   /// kPointBatch), indexed by static_cast<int>(kind).
-  std::array<std::atomic<int64_t>, kNumQuerySpecKinds> specs_by_kind{};
+  std::array<Counter, kNumQuerySpecKinds> specs_by_kind{};
   LatencyHistogram query_latency;    ///< per-query response micros
   LatencyHistogram publish_latency;  ///< per-epoch stage+publish micros
 
@@ -117,10 +97,19 @@ class ServingTelemetry {
 
   ServingTelemetrySnapshot Snapshot() const;
 
+  /// \brief Named-metric view of this telemetry block. Callers may
+  /// register additional process metrics (trace-ring drops, cache
+  /// stats) before scraping.
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
   /// \brief Zeroes every counter and histogram — bench warmup isolation:
   /// run the warmup storm, Reset(), then measure the steady state alone.
   /// Not atomic across counters; call while the runtime is quiescent.
   void Reset();
+
+ private:
+  MetricsRegistry registry_;
 };
 
 }  // namespace one4all

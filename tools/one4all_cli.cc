@@ -12,6 +12,10 @@
 //   one4all_cli serve    --flows flows.bin [--model model.bin]
 //                        [--steps 24] [--clients 2] [--batch 64]
 //                        [--publish-ms 20] [--retain 0] [--strategy usub]
+//                        [--report-ms 0] [--metrics-out metrics.prom]
+//                        [--trace-out trace.json] [--sample-every 16]
+//   one4all_cli trace    --flows flows.bin [--model model.bin]
+//                        [--steps 8] [--slowest 5] [--out trace.json]
 //   one4all_cli scenario scenarios/happy_path.json
 //
 // `query` compiles the flags into a typed QuerySpec (point-in-time,
@@ -25,6 +29,15 @@
 // client threads fire a storm of mixed query shapes (legacy batches,
 // time-range, multi-region and top-k specs) at the runtime; finishes by
 // printing the serving telemetry block with per-spec-kind counts.
+// `--report-ms N` additionally prints a periodic delta line (per-interval
+// QPS, publish rate, rejects, trace-ring drops) while the storm runs;
+// `--metrics-out` writes the final Prometheus exposition and
+// `--trace-out` the recorded span events as Chrome trace_event JSON.
+//
+// `trace` runs the same serve workload with every span sampled
+// (sample_every_n=1), prints the slowest-N per-query span trees with
+// per-stage self-times, and writes the full Chrome/Perfetto trace JSON
+// (load it in ui.perfetto.dev or chrome://tracing).
 //
 // `scenario` runs one declarative scenario spec (see scenarios/ and the
 // README's scenario-harness section) through the deterministic workload
@@ -36,7 +49,9 @@
 // reconstruct the network before loading weights.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -46,6 +61,9 @@
 #include <utility>
 
 #include "data/flow_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "query/query_executor.h"
 #include "query/query_planner.h"
 #include "eval/task_eval.h"
@@ -435,7 +453,10 @@ int CmdSearchStructure(const Flags& flags) {
   return 0;
 }
 
-int CmdServe(const Flags& flags) {
+// Shared engine for `serve` and `trace`: the trace subcommand is the
+// same storm with head sampling disabled (every span recorded) and a
+// span-tree report instead of the telemetry table.
+int RunServeWorkload(const Flags& flags, bool trace_mode) {
   auto flows = LoadFlows(flags.Get("flows", "flows.bin"));
   if (!flows.ok()) {
     std::cerr << flows.status().ToString() << "\n";
@@ -488,11 +509,22 @@ int CmdServe(const Flags& flags) {
   std::cout << "offline index ready (" << predictor->Name() << ", "
             << dataset->hierarchy().num_layers() << " layers)\n";
 
+  // Private recorder so every run starts with an empty ring. `trace`
+  // records every span of every query; `serve` keeps the default 1-in-N
+  // head sampler (interior spans) with roots always recorded.
+  TraceRecorderOptions recorder_options;
+  recorder_options.sample_every_n = static_cast<int>(
+      flags.GetInt("sample-every", trace_mode ? 1 : 16));
+  recorder_options.ring_capacity = static_cast<size_t>(
+      flags.GetInt("ring-capacity", int64_t{1} << 16));
+  TraceRecorder recorder(recorder_options);
+
   ServingRuntimeOptions options;
+  options.trace = &recorder;
   const auto& slots = dataset->test_indices();
   options.ingest.start_t = slots.front();
   options.ingest.num_timesteps =
-      std::min<int64_t>(flags.GetInt("steps", 24),
+      std::min<int64_t>(flags.GetInt("steps", trace_mode ? 8 : 24),
                         static_cast<int64_t>(slots.size()));
   options.ingest.min_publish_interval_ms = flags.GetInt("publish-ms", 20);
   options.retain_timesteps = flags.GetInt("retain", 0);
@@ -515,6 +547,47 @@ int CmdServe(const Flags& flags) {
 
   runtime.Start();
   runtime.ingestor().WaitUntilPublished(options.ingest.start_t);
+
+  // Periodic delta reporter: one line per interval with the rates since
+  // the previous line, so a stall (publish rate 0) or an overload wave
+  // (rejects spiking) is visible while the storm is still running.
+  const int64_t report_ms = flags.GetInt("report-ms", 0);
+  std::atomic<bool> report_stop{false};
+  std::thread reporter;
+  if (report_ms > 0) {
+    reporter = std::thread([&] {
+      ServingTelemetrySnapshot prev = runtime.Telemetry();
+      int64_t prev_drops = recorder.dropped_events();
+      auto next_tick = std::chrono::steady_clock::now();
+      while (!report_stop.load(std::memory_order_relaxed)) {
+        next_tick += std::chrono::milliseconds(report_ms);
+        // Sleep in short slices so shutdown never waits a full interval.
+        while (std::chrono::steady_clock::now() < next_tick) {
+          if (report_stop.load(std::memory_order_relaxed)) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        const ServingTelemetrySnapshot now = runtime.Telemetry();
+        const int64_t drops = recorder.dropped_events();
+        const double secs = static_cast<double>(report_ms) / 1000.0;
+        std::ostringstream line;  // one syscall, storm-safe interleaving
+        line << "[telemetry] qps="
+             << TablePrinter::Num(
+                    static_cast<double>(now.queries_served -
+                                        prev.queries_served) / secs, 0)
+             << " publish/s="
+             << TablePrinter::Num(
+                    static_cast<double>(now.epochs_published -
+                                        prev.epochs_published) / secs, 1)
+             << " rejected=+" << (now.queries_rejected - prev.queries_rejected)
+             << " failed=+" << (now.queries_failed - prev.queries_failed)
+             << " ring-drops=+" << (drops - prev_drops) << "\n";
+        std::cout << line.str() << std::flush;
+        prev = now;
+        prev_drops = drops;
+      }
+    });
+  }
+
   std::vector<std::thread> storm;
   for (int c = 0; c < clients; ++c) {
     storm.emplace_back([&, c] {
@@ -572,6 +645,8 @@ int CmdServe(const Flags& flags) {
     });
   }
   for (auto& client : storm) client.join();
+  report_stop.store(true, std::memory_order_relaxed);
+  if (reporter.joinable()) reporter.join();
   runtime.Stop();
   if (!runtime.ingestor().status().ok()) {
     std::cerr << runtime.ingestor().status().ToString() << "\n";
@@ -582,14 +657,79 @@ int CmdServe(const Flags& flags) {
             << " timesteps under a " << clients << "-client storm ("
             << regions.size() << " distinct regions, batches of "
             << batch_size << ")\n";
+
+  if (trace_mode) {
+    const std::vector<TraceEvent> events = recorder.Snapshot();
+    std::cout << RenderSlowestTraceTrees(
+        events, static_cast<int>(flags.GetInt("slowest", 5)),
+        recorder.dropped_events());
+    const std::string out = flags.Get("out", "trace.json");
+    Status st = WriteChromeTraceFile(out, events, recorder.dropped_events());
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << events.size() << " trace events to " << out
+              << " (open in ui.perfetto.dev or chrome://tracing)\n";
+    return 0;
+  }
+
   runtime.Telemetry().Render().Print(std::cout);
   const auto cache_stats = runtime.cache().Stats();
   std::cout << "resolve cache: hit rate "
             << TablePrinter::Num(cache_stats.hit_rate() * 100.0, 1)
             << "% over " << (cache_stats.hits + cache_stats.misses)
             << " lookups\n";
+  // Ring accounting is always reported — a saturated ring must never be
+  // silent, even without --trace-out.
+  std::cout << "trace ring: " << recorder.total_events()
+            << " events recorded, " << recorder.dropped_events()
+            << " dropped (capacity " << recorder.ring_capacity() << ")\n";
+
+  if (flags.Has("metrics-out")) {
+    // Ring health rides along in the scrape as callback gauges; the
+    // recorder outlives the registry (declared earlier in this frame).
+    MetricsRegistry& registry = runtime.telemetry().registry();
+    registry.RegisterCallbackGauge(
+        "one4all_trace_ring_events", "Trace events appended to the ring",
+        "", [&recorder] {
+          return static_cast<double>(recorder.total_events());
+        });
+    registry.RegisterCallbackGauge(
+        "one4all_trace_ring_dropped",
+        "Trace events lost to ring overwrite or contention", "",
+        [&recorder] {
+          return static_cast<double>(recorder.dropped_events());
+        });
+    const std::string path = flags.Get("metrics-out", "metrics.prom");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << registry.ExpositionText();
+    out.close();
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    std::cout << "wrote Prometheus exposition (" << registry.num_metrics()
+              << " metric families) to " << path << "\n";
+  }
+  if (flags.Has("trace-out")) {
+    const std::string path = flags.Get("trace-out", "trace.json");
+    const std::vector<TraceEvent> events = recorder.Snapshot();
+    Status st =
+        WriteChromeTraceFile(path, events, recorder.dropped_events());
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << events.size() << " trace events to " << path
+              << "\n";
+  }
   return 0;
 }
+
+int CmdServe(const Flags& flags) { return RunServeWorkload(flags, false); }
+
+int CmdTrace(const Flags& flags) { return RunServeWorkload(flags, true); }
 
 int CmdScenario(int argc, char** argv) {
   if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
@@ -616,8 +756,8 @@ int CmdScenario(int argc, char** argv) {
 
 int Usage() {
   std::cerr << "usage: one4all_cli <generate|train|query|eval|"
-               "search-structure|serve|scenario> [--flags]\n(see the header "
-               "comment of tools/one4all_cli.cc for examples)\n";
+               "search-structure|serve|trace|scenario> [--flags]\n(see the "
+               "header comment of tools/one4all_cli.cc for examples)\n";
   return 2;
 }
 
@@ -633,6 +773,7 @@ int main(int argc, char** argv) {
   if (command == "eval") return CmdEval(flags);
   if (command == "search-structure") return CmdSearchStructure(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "trace") return CmdTrace(flags);
   if (command == "scenario") return CmdScenario(argc, argv);
   return Usage();
 }

@@ -3,8 +3,8 @@
 // verdict against its committed golden file.
 //
 //   scenario_runner [--dir scenarios] [--golden-dir <dir>]
-//                   [--out BENCH_scenarios.json] [--update-goldens]
-//                   [spec.json ...]
+//                   [--out BENCH_scenarios.json] [--metrics-dir <dir>]
+//                   [--update-goldens] [spec.json ...]
 //
 // Without positional files every *.json directly under --dir runs, in
 // lexicographic order. The golden for spec <stem>.json lives at
@@ -14,6 +14,11 @@
 // rewrites the goldens from this run (review the diff before
 // committing). All verdicts are also consolidated — verbatim, in run
 // order — into one --out JSON document for CI artifact upload.
+//
+// With --metrics-dir, each scenario additionally writes its full
+// Prometheus exposition to <metrics-dir>/<stem>.metrics.prom — a
+// diagnostic artifact next to the verdict (latency quantiles are
+// wall-clock dependent, so these are never golden-checked).
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -34,6 +39,7 @@ struct RunnerArgs {
   std::string dir = "scenarios";
   std::string golden_dir;  // empty: derive "<dir>/golden"
   std::string out = "BENCH_scenarios.json";
+  std::string metrics_dir;  // empty: no per-scenario metrics artifacts
   bool update_goldens = false;
   std::vector<std::string> files;
 };
@@ -41,6 +47,7 @@ struct RunnerArgs {
 int Usage() {
   std::cerr << "usage: scenario_runner [--dir scenarios] [--golden-dir d]\n"
                "                       [--out BENCH_scenarios.json]\n"
+               "                       [--metrics-dir d]\n"
                "                       [--update-goldens] [spec.json ...]\n";
   return 2;
 }
@@ -50,7 +57,8 @@ bool ParseArgs(int argc, char** argv, RunnerArgs* args) {
     const std::string arg = argv[i];
     if (arg == "--update-goldens") {
       args->update_goldens = true;
-    } else if (arg == "--dir" || arg == "--golden-dir" || arg == "--out") {
+    } else if (arg == "--dir" || arg == "--golden-dir" || arg == "--out" ||
+               arg == "--metrics-dir") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
         return false;
@@ -58,6 +66,7 @@ bool ParseArgs(int argc, char** argv, RunnerArgs* args) {
       const std::string value = argv[++i];
       if (arg == "--dir") args->dir = value;
       else if (arg == "--golden-dir") args->golden_dir = value;
+      else if (arg == "--metrics-dir") args->metrics_dir = value;
       else args->out = value;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << "\n";
@@ -150,12 +159,26 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    auto verdict = RunScenario(*spec);
+    std::string metrics;
+    auto verdict = RunScenario(
+        *spec, args.metrics_dir.empty() ? nullptr : &metrics);
     if (!verdict.ok()) {
       std::cerr << "FAIL " << spec_path.string() << ": "
                 << verdict.status().ToString() << "\n";
       ++failures;
       continue;
+    }
+    if (!args.metrics_dir.empty()) {
+      const fs::path metrics_path =
+          fs::path(args.metrics_dir) /
+          (spec_path.stem().string() + ".metrics.prom");
+      Status st = WriteFile(metrics_path, metrics);
+      if (!st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        ++failures;
+        continue;
+      }
+      std::cout << "metrics: " << metrics_path.string() << "\n";
     }
     verdict->Render().Print(std::cout);
     const std::string canonical = verdict->CanonicalJson();
