@@ -13,6 +13,14 @@
 // ring drop accounting and a per-stage latency breakdown (from the
 // recorded spans) land in BENCH_serving.json.
 //
+// A fourth phase replays the storm against 1/2/4/8 band shards
+// (ISSUE 9): per-shard-count QPS rows land in the JSON as
+// "shard_scaling", every row must stay bit-exact with zero torn pins,
+// and a >= 2x QPS speedup at 4 shards is gated — unless storm clients x
+// 8 shards oversubscribes the hardware threads, in which case the curve
+// is recorded with "oversubscribed": true and the speedup is flagged,
+// not gated.
+//
 // Emits BENCH_serving.json (override with O4A_BENCH_JSON, empty
 // disables). Env knobs: O4A_BENCH_QUERIES (static-phase stream length),
 // O4A_BENCH_CLIENTS (storm client threads), O4A_BENCH_STRICT (default
@@ -58,7 +66,18 @@ struct StormOutcome {
   int64_t inconsistent = 0;
   int64_t rejected = 0;
   double storm_seconds = 0.0;
+  bool cross_shard_consistent = true;
+  int64_t pin_retries = 0;
   ServingTelemetrySnapshot telemetry;
+};
+
+/// One row of the shard-scaling curve (phase 4).
+struct ShardScalingRow {
+  int shards = 1;
+  double qps = 0.0;
+  int64_t answered = 0;
+  bool consistent = true;
+  int64_t pin_retries = 0;
 };
 
 struct ServingResult {
@@ -77,6 +96,11 @@ struct ServingResult {
   int64_t rejected = 0;
   int64_t ring_events = 0;
   int64_t ring_dropped = 0;
+  std::vector<ShardScalingRow> shard_scaling;
+  /// storm clients x shards exceeds the hardware threads: the curve is
+  /// recorded but the >= 2x @ 4 shards gate is flagged, not enforced.
+  bool oversubscribed = false;
+  double shard_speedup_4x = 0.0;  ///< 4-shard qps / 1-shard qps (phase 4)
   std::array<SpanAggregate, kNumSpanNames> stages{};
 };
 
@@ -87,13 +111,14 @@ StormOutcome RunStorm(const STDataset& dataset,
                       const ExtendedQuadTree& index,
                       const std::vector<GridMask>& regions, int clients,
                       QueryStrategy strategy, TraceRecorder* recorder,
-                      const char* label) {
+                      const char* label, int num_shards = 1) {
   const auto& slots = dataset.test_indices();
   ServingRuntimeOptions options;
   options.strategy = strategy;
   options.num_query_threads = 1;  // concurrency comes from the clients
   options.max_inflight_queries = 1 << 20;
   options.trace = recorder;
+  options.num_shards = num_shards;
   options.ingest.start_t = slots.front();
   options.ingest.num_timesteps = static_cast<int64_t>(slots.size());
   // Paced well inside the 50 ms epoch-cadence budget; the ingest loop
@@ -114,7 +139,7 @@ StormOutcome RunStorm(const STDataset& dataset,
     storm.emplace_back([&, c] {
       Rng rng(static_cast<uint64_t>(97 + c));
       while (!runtime.ingestor().done()) {
-        const int64_t latest = runtime.epochs().published_latest_t();
+        const int64_t latest = runtime.published_latest_t();
         const int64_t span = latest - slots.front() + 1;
         std::vector<BatchQuery> batch;
         batch.reserve(256);
@@ -162,6 +187,9 @@ StormOutcome RunStorm(const STDataset& dataset,
       static_cast<double>(outcome.answered) / outcome.storm_seconds;
   outcome.inconsistent = inconsistent.load();
   outcome.rejected = rejected.load();
+  outcome.cross_shard_consistent = runtime.CrossShardConsistent();
+  outcome.pin_retries =
+      runtime.sharded() ? runtime.shards()->pin_retries() : 0;
   outcome.telemetry = runtime.Telemetry();
 
   std::cout << label << ": " << outcome.answered << " queries in "
@@ -205,6 +233,21 @@ void WriteJson(const std::string& path, const ServingResult& r,
   js << "  \"rejected\": " << r.rejected << ",\n";
   js << "  \"ring_events\": " << r.ring_events << ",\n";
   js << "  \"ring_dropped\": " << r.ring_dropped << ",\n";
+  // Shard-scaling curve (phase 4): one row per shard count.
+  js << "  \"shard_scaling\": [";
+  for (size_t i = 0; i < r.shard_scaling.size(); ++i) {
+    const auto& row = r.shard_scaling[i];
+    js << (i == 0 ? "" : ", ") << "{\"shards\": " << row.shards
+       << ", \"qps\": " << TablePrinter::Num(row.qps, 0)
+       << ", \"answered\": " << row.answered << ", \"consistent\": "
+       << (row.consistent ? "true" : "false")
+       << ", \"pin_retries\": " << row.pin_retries << "}";
+  }
+  js << "],\n";
+  js << "  \"shard_speedup_4x\": "
+     << TablePrinter::Num(r.shard_speedup_4x, 3) << ",\n";
+  js << "  \"oversubscribed\": " << (r.oversubscribed ? "true" : "false")
+     << ",\n";
   // Stage-attributed latency breakdown from the obs-on storm's spans.
   js << "  \"stage_count\": {";
   bool first = true;
@@ -359,6 +402,53 @@ int main_impl() {
     stages.Print(std::cout);
   }
 
+  // -- Phase 4: shard-scaling curve -----------------------------------
+  // The same storm against 1/2/4/8 band shards, recorder disabled so
+  // the curve measures the scatter-gather path alone. On a box where
+  // shards x clients exceeds the hardware threads the runs time-slice
+  // one another, so the curve is recorded and flagged, not gated.
+  result.oversubscribed =
+      static_cast<int64_t>(8) * clients > ThreadPool::HardwareThreads();
+  for (const int shards : {1, 2, 4, 8}) {
+    TraceRecorder recorder;
+    recorder.set_enabled(false);
+    const std::string label =
+        "storm (" + std::to_string(shards) + " shard" +
+        (shards > 1 ? "s" : "") + ")";
+    const StormOutcome outcome =
+        RunStorm(dataset, pipeline->index(), regions, clients, strategy,
+                 &recorder, label.c_str(), shards);
+    ShardScalingRow row;
+    row.shards = shards;
+    row.qps = outcome.qps;
+    row.answered = outcome.answered;
+    row.consistent =
+        outcome.cross_shard_consistent && outcome.inconsistent == 0;
+    row.pin_retries = outcome.pin_retries;
+    result.shard_scaling.push_back(row);
+  }
+  result.shard_speedup_4x =
+      result.shard_scaling[2].qps /
+      std::max(1.0, result.shard_scaling[0].qps);
+  {
+    TablePrinter scaling(
+        "Shard-scaling storm QPS (" + std::to_string(clients) +
+        " clients" + (result.oversubscribed ? ", OVERSUBSCRIBED" : "") +
+        ")");
+    scaling.SetHeader(
+        {"Shards", "queries/s", "vs 1 shard", "pin retries"});
+    for (const auto& row : result.shard_scaling) {
+      scaling.AddRow({std::to_string(row.shards),
+                      TablePrinter::Num(row.qps, 0),
+                      TablePrinter::Num(
+                          row.qps / std::max(1.0,
+                                             result.shard_scaling[0].qps),
+                          2),
+                      std::to_string(row.pin_retries)});
+    }
+    scaling.Print(std::cout);
+  }
+
   const char* json_env = std::getenv("O4A_BENCH_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_serving.json";
@@ -368,6 +458,14 @@ int main_impl() {
   const bool cadence_ok = result.mean_publish_interval_ms <= 50.0;
   const bool consistent_ok = result.inconsistent == 0;
   const bool overhead_ok = result.obs_overhead_pct <= 5.0;
+  bool shard_consistent_ok = true;
+  for (const auto& row : result.shard_scaling) {
+    shard_consistent_ok = shard_consistent_ok && row.consistent;
+  }
+  // The scaling gate needs real parallel headroom; an oversubscribed
+  // box records the curve but cannot meaningfully enforce a speedup.
+  const bool scaling_ok =
+      result.oversubscribed || result.shard_speedup_4x >= 2.0;
   PrintShapeCheck(
       "serving throughput within 2x of the static-store baseline",
       throughput_ok);
@@ -376,11 +474,19 @@ int main_impl() {
                   consistent_ok);
   PrintShapeCheck("always-on span recording costs <= 5% QPS",
                   overhead_ok);
+  PrintShapeCheck(
+      "every shard-scaling row consistent (bit-exact, zero torn pins)",
+      shard_consistent_ok);
+  PrintShapeCheck(
+      result.oversubscribed
+          ? ">= 2x storm QPS at 4 shards (SKIPPED: oversubscribed box)"
+          : ">= 2x storm QPS at 4 shards vs 1 shard",
+      scaling_ok);
 
   const char* strict_env = std::getenv("O4A_BENCH_STRICT");
   const bool strict = strict_env == nullptr || std::atoi(strict_env) != 0;
-  const bool ok =
-      throughput_ok && cadence_ok && consistent_ok && overhead_ok;
+  const bool ok = throughput_ok && cadence_ok && consistent_ok &&
+                  overhead_ok && shard_consistent_ok && scaling_ok;
   return (ok || !strict) ? 0 : 1;
 }
 

@@ -19,6 +19,9 @@ const char* SpanNameString(SpanName name) {
     case SpanName::kBuildSatPlane: return "build_sat_plane";
     case SpanName::kPublish: return "publish";
     case SpanName::kReclaim: return "reclaim";
+    case SpanName::kShardScatter: return "shard_scatter";
+    case SpanName::kShardGather: return "shard_gather";
+    case SpanName::kBarrierWait: return "barrier_wait";
   }
   return "unknown";
 }

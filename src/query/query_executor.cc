@@ -11,48 +11,7 @@
 
 namespace one4all {
 
-namespace {
-
-/// \brief Outcome of the resolve stage for one distinct region.
-struct SlotResolution {
-  Result<std::shared_ptr<const ResolvedQuery>> resolved =
-      Status::Internal("slot not resolved");
-  bool cache_hit = false;
-  double probe_micros = 0.0;
-};
-
-double FoldSeries(const std::vector<double>& series, TimeAggregation agg);
-
-/// \brief Builds one result row from its gathered series plus the slot's
-/// resolution accounting — the one place both gather interpreters (exact
-/// cell loop and SAT fast path) fill row bookkeeping, so the paths
-/// cannot diverge when QueryRow grows a field.
-QueryRow MakeRow(const std::vector<double>& series, TimeAggregation agg,
-                 bool keep_series, const ResolvedQuery& rq,
-                 const SlotResolution& slot, double eval_micros,
-                 TraceContext* trace) {
-  QueryRow row;
-  {
-    ScopedSpan fold_span(trace, SpanName::kFold,
-                         static_cast<int64_t>(series.size()));
-    row.value = FoldSeries(series, agg);
-  }
-  if (keep_series) row.series = series;
-  row.num_pieces = rq.num_pieces;
-  row.num_terms = static_cast<int>(rq.terms.size());
-  row.from_cache = slot.cache_hit;
-  row.eval_micros = eval_micros;
-  if (slot.cache_hit) {
-    // Decompose + index were skipped; report the actual resolve-path
-    // latency (the cache lookup).
-    row.response_micros = slot.probe_micros;
-  } else {
-    row.decompose_micros = rq.decompose_micros;
-    row.index_micros = rq.index_micros;
-    row.response_micros = rq.decompose_micros + rq.index_micros;
-  }
-  return row;
-}
+namespace query_internal {
 
 double FoldSeries(const std::vector<double>& series, TimeAggregation agg) {
   switch (agg) {
@@ -72,6 +31,80 @@ double FoldSeries(const std::vector<double>& series, TimeAggregation agg) {
     }
   }
   return 0.0;
+}
+
+QueryRow MakeQueryRow(const std::vector<double>& series, TimeAggregation agg,
+                      bool keep_series, const ResolvedQuery& rq,
+                      bool cache_hit, double probe_micros,
+                      double eval_micros, TraceContext* trace) {
+  QueryRow row;
+  {
+    ScopedSpan fold_span(trace, SpanName::kFold,
+                         static_cast<int64_t>(series.size()));
+    row.value = FoldSeries(series, agg);
+  }
+  if (keep_series) row.series = series;
+  row.num_pieces = rq.num_pieces;
+  row.num_terms = static_cast<int>(rq.terms.size());
+  row.from_cache = cache_hit;
+  row.eval_micros = eval_micros;
+  if (cache_hit) {
+    // Decompose + index were skipped; report the actual resolve-path
+    // latency (the cache lookup).
+    row.response_micros = probe_micros;
+  } else {
+    row.decompose_micros = rq.decompose_micros;
+    row.index_micros = rq.index_micros;
+    row.response_micros = rq.decompose_micros + rq.index_micros;
+  }
+  return row;
+}
+
+void RankTopK(const QueryPlan& plan, TraceContext* trace,
+              QueryResult* result) {
+  if (plan.spec.kind != QuerySpecKind::kTopK) return;
+  ScopedSpan rank_span(trace, SpanName::kRank, plan.spec.top_k);
+  Stopwatch stage_timer;
+  std::vector<int> order;
+  order.reserve(result->rows.size());
+  for (size_t i = 0; i < result->rows.size(); ++i) {
+    if (result->rows[i].ok()) order.push_back(static_cast<int>(i));
+  }
+  const size_t k = std::min(order.size(),
+                            static_cast<size_t>(plan.spec.top_k));
+  std::partial_sort(order.begin(), order.begin() + static_cast<int64_t>(k),
+                    order.end(), [&](int a, int b) {
+                      const double va =
+                          result->rows[static_cast<size_t>(a)]->value;
+                      const double vb =
+                          result->rows[static_cast<size_t>(b)]->value;
+                      if (va != vb) return va > vb;
+                      return a < b;
+                    });
+  order.resize(k);
+  result->top_k = std::move(order);
+  result->timings.rank_micros = stage_timer.ElapsedMicros();
+}
+
+}  // namespace query_internal
+
+namespace {
+
+/// \brief Outcome of the resolve stage for one distinct region.
+struct SlotResolution {
+  Result<std::shared_ptr<const ResolvedQuery>> resolved =
+      Status::Internal("slot not resolved");
+  bool cache_hit = false;
+  double probe_micros = 0.0;
+};
+
+QueryRow MakeRow(const std::vector<double>& series, TimeAggregation agg,
+                 bool keep_series, const ResolvedQuery& rq,
+                 const SlotResolution& slot, double eval_micros,
+                 TraceContext* trace) {
+  return query_internal::MakeQueryRow(series, agg, keep_series, rq,
+                                      slot.cache_hit, slot.probe_micros,
+                                      eval_micros, trace);
 }
 
 // -- SAT fast path ----------------------------------------------------------
@@ -132,32 +165,7 @@ double RectSumOnFrame(const float* data, int64_t width,
 /// (far past serving admission budgets) take the exact path instead.
 constexpr int64_t kMaxFastPathGathers = int64_t{1} << 20;
 
-/// \brief Stage 3: top-k rank (no-op unless the plan is a kTopK spec).
-void RankTopK(const QueryPlan& plan, TraceContext* trace,
-              QueryResult* result) {
-  if (plan.spec.kind != QuerySpecKind::kTopK) return;
-  ScopedSpan rank_span(trace, SpanName::kRank, plan.spec.top_k);
-  Stopwatch stage_timer;
-  std::vector<int> order;
-  order.reserve(result->rows.size());
-  for (size_t i = 0; i < result->rows.size(); ++i) {
-    if (result->rows[i].ok()) order.push_back(static_cast<int>(i));
-  }
-  const size_t k = std::min(order.size(),
-                            static_cast<size_t>(plan.spec.top_k));
-  std::partial_sort(order.begin(), order.begin() + static_cast<int64_t>(k),
-                    order.end(), [&](int a, int b) {
-                      const double va =
-                          result->rows[static_cast<size_t>(a)]->value;
-                      const double vb =
-                          result->rows[static_cast<size_t>(b)]->value;
-                      if (va != vb) return va > vb;
-                      return a < b;
-                    });
-  order.resize(k);
-  result->top_k = std::move(order);
-  result->timings.rank_micros = stage_timer.ElapsedMicros();
-}
+using query_internal::RankTopK;
 
 }  // namespace
 

@@ -98,6 +98,31 @@ class QueryExecutor {
   const RegionQueryServer* server_;
 };
 
+namespace query_internal {
+
+/// \brief The aggregation fold shared by every gather interpreter
+/// (exact cell loop, SAT fast path, sharded scatter-gather). Left-to-
+/// right accumulation in series order — part of the bit-exactness
+/// contract, so no caller may re-fold with a different association.
+double FoldSeries(const std::vector<double>& series, TimeAggregation agg);
+
+/// \brief Builds one result row from its gathered series plus the
+/// resolution's accounting — the one place every gather interpreter
+/// fills row bookkeeping, so the paths cannot diverge when QueryRow
+/// grows a field. `cache_hit`/`probe_micros` describe the resolve-cache
+/// probe that produced `rq`.
+QueryRow MakeQueryRow(const std::vector<double>& series, TimeAggregation agg,
+                      bool keep_series, const ResolvedQuery& rq,
+                      bool cache_hit, double probe_micros,
+                      double eval_micros, TraceContext* trace);
+
+/// \brief Stage 3: top-k rank over `result->rows` (no-op unless the plan
+/// is a kTopK spec). Ties break toward the lower row index.
+void RankTopK(const QueryPlan& plan, TraceContext* trace,
+              QueryResult* result);
+
+}  // namespace query_internal
+
 }  // namespace one4all
 
 #endif  // ONE4ALL_QUERY_QUERY_EXECUTOR_H_

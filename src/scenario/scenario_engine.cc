@@ -119,6 +119,7 @@ class EngineRun {
     options.num_query_threads = 1;
     options.retain_timesteps = spec_.serving.retain_timesteps;
     options.build_sat_planes = spec_.serving.sat_planes;
+    options.num_shards = static_cast<int>(spec_.serving.shards);
     options.ingest.start_t = world_.dataset->test_indices().front();
     options.ingest.num_timesteps = spec_.ingest.steps;
     options.ingest.manual_stepping = true;
@@ -173,9 +174,19 @@ class EngineRun {
     AddInvariant("pinned_epoch_survived", pinned_epoch_survived_,
                  pinned_epoch_detail_);
     AddInvariant("reclaimed_to_single_epoch",
-                 runtime.epochs().live_epochs() == 1,
-                 std::to_string(runtime.epochs().live_epochs()) +
+                 runtime.live_epochs() == 1,
+                 std::to_string(runtime.live_epochs()) +
                      " live epochs after shutdown");
+    if (runtime.sharded()) {
+      // Only sharded runs emit this invariant, so the verdicts (and
+      // goldens) of every single-shard scenario are unchanged by the
+      // sharding subsystem's existence.
+      AddInvariant(
+          "cross_shard_epoch_consistent", runtime.CrossShardConsistent(),
+          std::to_string(runtime.shards()->torn_pins()) +
+              " torn pins; published_t=" +
+              std::to_string(runtime.published_latest_t()));
+    }
 
     verdict_.wall_ms = wall.ElapsedMicros() / 1e3;
     runtime_ = nullptr;
@@ -213,7 +224,7 @@ class EngineRun {
             publisher_paused_ = true;
             break;
           case ScenarioFault::Kind::kWriteRefusal:
-            runtime_->store().SetWriteFault(
+            runtime_->SetWriteFault(
                 Status::IOError("injected: store refusing writes"));
             break;
           case ScenarioFault::Kind::kSlowReader:
@@ -230,7 +241,7 @@ class EngineRun {
             publisher_paused_ = false;
             break;
           case ScenarioFault::Kind::kWriteRefusal:
-            runtime_->store().ClearWriteFault();
+            runtime_->ClearWriteFault();
             break;
           case ScenarioFault::Kind::kSlowReader:
             CheckPinnedEpochThenRelease();
@@ -386,7 +397,7 @@ class EngineRun {
   void IssueArrival() {
     const double u = rng_.Uniform();
     const int64_t t = SampleT();
-    const int64_t latest = runtime_->epochs().published_latest_t();
+    const int64_t latest = runtime_->published_latest_t();
     const ScenarioMix& mix = spec_.mix;
     const QueryStrategy strategy = spec_.serving.strategy;
     const int64_t window_end = start_t_ + spec_.ingest.steps - 1;

@@ -181,6 +181,7 @@ Status ParseServing(const JsonValue& v, ScenarioServing* out) {
   O4A_RETURN_NOT_OK(reader.GetInt("retain_timesteps",
                                   &out->retain_timesteps, 0, 100000));
   O4A_RETURN_NOT_OK(reader.GetBool("sat_planes", &out->sat_planes));
+  O4A_RETURN_NOT_OK(reader.GetInt("shards", &out->shards, 1, 64));
   int strategy = static_cast<int>(out->strategy);
   O4A_RETURN_NOT_OK(reader.GetEnum(
       "strategy", {"direct", "union", "union_subtraction"}, &strategy));

@@ -34,6 +34,11 @@ struct ScenarioServing {
   int64_t retain_timesteps = 0;  ///< carry-forward horizon (0 = unbounded)
   bool sat_planes = true;
   QueryStrategy strategy = QueryStrategy::kUnionSubtraction;
+  /// Spatial shard count (ServingRuntimeOptions::num_shards): 1 serves
+  /// the classic single-store path; > 1 runs the band-sharded barrier
+  /// topology, and the verdict gains the cross_shard_epoch_consistent
+  /// invariant.
+  int64_t shards = 1;
 };
 
 /// \brief Epoch-publication cadence on the scenario's virtual clock.

@@ -165,6 +165,28 @@ void FrameEpochManager::Publish(Staging&& staging) {
   Reclaim(reclaimable);
 }
 
+Status FrameEpochManager::StageAndPublish(int64_t t,
+                                          const std::vector<Tensor>& frames,
+                                          bool carry_forward,
+                                          TraceContext* trace) {
+  Staging staging = BeginEpoch(carry_forward);
+  staging.set_trace(trace);
+  Status status;
+  {
+    ScopedSpan stage_span(trace, SpanName::kStageFrames,
+                          static_cast<int64_t>(frames.size()));
+    for (size_t i = 0; i < frames.size() && status.ok(); ++i) {
+      status = staging.TryStageFrame(static_cast<int>(i) + 1, t, frames[i]);
+    }
+  }
+  if (status.ok()) {
+    ScopedSpan flip_span(trace, SpanName::kPublish);
+    Publish(std::move(staging));
+  }
+  // else: `staging` aborts itself going out of scope.
+  return status;
+}
+
 void FrameEpochManager::Abort(Staging&& staging) {
   if (!staging.valid()) return;
   O4A_CHECK(staging.manager_ == this);

@@ -17,6 +17,7 @@
 
 #include "kvstore/prediction_store.h"
 #include "obs/trace.h"
+#include "serve/epoch_sink.h"
 #include "serve/telemetry.h"
 
 namespace one4all {
@@ -83,7 +84,7 @@ class EpochGuard {
 /// staging/publishing writer (concurrent writers are also safe — the
 /// last publish wins). Generation 0 is the initial published epoch; its
 /// latest_t is whatever the constructor is told was pre-synced there.
-class FrameEpochManager {
+class FrameEpochManager : public EpochSink {
  public:
   /// \param store Must outlive the manager.
   /// \param telemetry Optional counter sink (epochs published/reclaimed,
@@ -91,7 +92,7 @@ class FrameEpochManager {
   explicit FrameEpochManager(PredictionStore* store,
                              ServingTelemetry* telemetry = nullptr,
                              FrameEpochManagerOptions options = {});
-  ~FrameEpochManager();
+  ~FrameEpochManager() override;
 
   FrameEpochManager(const FrameEpochManager&) = delete;
   FrameEpochManager& operator=(const FrameEpochManager&) = delete;
@@ -171,6 +172,13 @@ class FrameEpochManager {
 
   /// \brief Discards a staged epoch without publishing.
   void Abort(Staging&& staging);
+
+  /// \brief EpochSink: BeginEpoch + stage every layer frame (with
+  /// kStageFrames/kPublish spans under `trace`) + Publish; a store write
+  /// refusal aborts the whole staging and is returned as the retryable
+  /// Status the ingest loop absorbs.
+  Status StageAndPublish(int64_t t, const std::vector<Tensor>& frames,
+                         bool carry_forward, TraceContext* trace) override;
 
   /// \brief Pins the currently published epoch.
   EpochGuard Pin();

@@ -1,0 +1,39 @@
+// The publication seam between the stream ingestor and whatever epoch
+// substrate serves queries: the single-process FrameEpochManager, or a
+// ShardSet that slices each frame across N band-partitioned shards and
+// flips them behind one barrier. The ingestor only ever sees this
+// interface, so sharding is invisible to the ingest loop.
+#ifndef ONE4ALL_SERVE_EPOCH_SINK_H_
+#define ONE4ALL_SERVE_EPOCH_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace one4all {
+
+struct TraceContext;  // obs/trace.h
+
+/// \brief One atomically-published epoch per call.
+class EpochSink {
+ public:
+  virtual ~EpochSink() = default;
+
+  /// \brief Stages the full multi-scale frame set of timestep `t`
+  /// (frames[l-1] is layer l, [Hl, Wl]) and publishes it as one epoch no
+  /// reader can observe half-done. A returned error is retryable: the
+  /// staged epoch was aborted whole (store write refusal semantics), and
+  /// re-calling with the same `t` is safe. `trace` (nullable) is the
+  /// enclosing publish attempt's context; implementations nest their
+  /// stage/publish spans under it.
+  virtual Status StageAndPublish(int64_t t,
+                                 const std::vector<Tensor>& frames,
+                                 bool carry_forward,
+                                 TraceContext* trace) = 0;
+};
+
+}  // namespace one4all
+
+#endif  // ONE4ALL_SERVE_EPOCH_SINK_H_

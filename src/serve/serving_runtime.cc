@@ -1,9 +1,11 @@
 #include "serve/serving_runtime.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/logging.h"
 #include "query/query_planner.h"
+#include "shard/shard_executor.h"
 
 namespace one4all {
 
@@ -27,11 +29,27 @@ ServingRuntime::ServingRuntime(const Hierarchy* hierarchy,
   O4A_CHECK(dataset != nullptr);
   O4A_CHECK_GT(options_.max_inflight_queries, 0);
   server_ = std::make_unique<RegionQueryServer>(hierarchy, index, &store_);
+  if (options_.num_shards > 1) {
+    ShardSetOptions shard_options;
+    shard_options.retain_timesteps = options_.retain_timesteps;
+    shard_options.build_sat_planes = options_.build_sat_planes;
+    shard_options.cache = options_.cache;
+    // Partition the configured resolve-cache capacity across shards so
+    // turning sharding on does not silently multiply the cache budget.
+    shard_options.cache.capacity = std::max<size_t>(
+        options_.cache.capacity / static_cast<size_t>(options_.num_shards),
+        64);
+    shard_options.trace = trace_;
+    shards_ = std::make_unique<ShardSet>(hierarchy, options_.num_shards,
+                                         &telemetry_, shard_options);
+  }
   StreamIngestorOptions ingest_options = options.ingest;
   ingest_options.trace = trace_;
+  EpochSink* sink = shards_ != nullptr
+                        ? static_cast<EpochSink*>(shards_.get())
+                        : static_cast<EpochSink*>(&epochs_);
   ingestor_ = std::make_unique<StreamIngestor>(
-      dataset, std::move(inference), &epochs_, &telemetry_,
-      ingest_options);
+      dataset, std::move(inference), sink, &telemetry_, ingest_options);
 }
 
 ServingRuntime::~ServingRuntime() { Stop(); }
@@ -83,7 +101,22 @@ Result<std::vector<Result<QueryResponse>>> ServingRuntime::QueryBatch(
   telemetry_.CountSpec(QuerySpecKind::kPointBatch);
 
   std::vector<Result<QueryResponse>> results;
-  {
+  if (shards_ != nullptr) {
+    // Cross-shard pin through the barrier: the pin set holds one epoch
+    // per shard, all serving the same timestep, for the whole batch.
+    ShardPinSet pins = shards_->PinAll(&trace_ctx);
+    ScopedSpan pin_span(&trace_ctx, SpanName::kEpochPin,
+                        pins.generation(0));
+    pin_span.Close();
+    ShardExecutorOptions exec_options;
+    exec_options.num_threads = options_.num_query_threads;
+    exec_options.trace = &trace_ctx;
+    std::shared_lock<std::shared_mutex> server_lock(server_mu_);
+    ScopedSpan gather_span(&trace_ctx, SpanName::kGather, n);
+    results = ShardExecutor(server_.get(), shards_.get())
+                  .ExecuteBatch(queries, options_.strategy, pins,
+                                exec_options);
+  } else {
     // Pin one epoch for the whole batch: every frame read below goes
     // through its generation, so the batch can never mix a half-
     // published timestep into its answers.
@@ -151,7 +184,21 @@ Result<QueryResult> ServingRuntime::ExecuteSpec(QuerySpec spec) {
   }
 
   QueryResult result;
-  {
+  if (shards_ != nullptr) {
+    // Same consistency contract, barrier edition: the pin set's shards
+    // all serve one timestep, so a time-range answer can never mix two
+    // barrier flips' frames — across shards or within one.
+    ShardPinSet pins = shards_->PinAll(&trace_ctx);
+    ScopedSpan pin_span(&trace_ctx, SpanName::kEpochPin,
+                        pins.generation(0));
+    pin_span.Close();
+    ShardExecutorOptions exec_options;
+    exec_options.num_threads = options_.num_query_threads;
+    exec_options.trace = &trace_ctx;
+    std::shared_lock<std::shared_mutex> server_lock(server_mu_);
+    result = ShardExecutor(server_.get(), shards_.get())
+                 .Execute(*plan, pins, exec_options);
+  } else {
     // Same consistency contract as QueryBatch: one pinned epoch covers
     // every frame gather of the plan, so a time-range answer can never
     // mix two epochs' frames.
@@ -183,6 +230,7 @@ void ServingRuntime::SwapIndex(const ExtendedQuadTree* index) {
   // that clears the resolve cache (epoch rolls must not — resolution is
   // time-independent).
   cache_.Invalidate();
+  if (shards_ != nullptr) shards_->InvalidateCaches();
 }
 
 }  // namespace one4all

@@ -21,6 +21,7 @@
 #include "query/resolved_query_cache.h"
 #include "serve/epoch_manager.h"
 #include "serve/stream_ingestor.h"
+#include "shard/shard_set.h"
 
 namespace one4all {
 
@@ -44,6 +45,14 @@ struct ServingRuntimeOptions {
   /// kSatFastPath specs answer rect-decomposable regions in O(#rects).
   bool build_sat_planes = true;
   ResolvedQueryCacheOptions cache;
+  /// Spatial shard count. 1 (the default) serves from the single
+  /// store/epoch-manager path, bit-for-bit as before. > 1 partitions the
+  /// grid into that many contiguous row-band shards (shard/shard_map.h),
+  /// each with its own store, epoch manager and resolve cache; the
+  /// ingestor publishes all bands behind one epoch barrier and queries
+  /// scatter-gather across them (results stay bit-identical to N=1).
+  /// Clamped to the atomic grid height.
+  int num_shards = 1;
   StreamIngestorOptions ingest;
   /// Span/trace sink shared by the query path, the ingestor and the
   /// epoch manager; null uses TraceRecorder::Global(). Benches inject a
@@ -95,7 +104,59 @@ class ServingRuntime {
   Result<QueryResult> ExecuteSpec(QuerySpec spec);
 
   /// \brief Pins the current epoch (tests, multi-batch consistency).
+  /// Single-shard pin; sharded runtimes pin through shards()->PinAll().
   EpochGuard PinEpoch() { return epochs_.Pin(); }
+
+  // -- Topology-agnostic serving-state facades ----------------------------
+  // Callers that only ask "what is served / is it healthy / inject a
+  // fault" go through these, so the same code drives a single epoch
+  // manager or an N-shard barrier without branching.
+
+  bool sharded() const { return shards_ != nullptr; }
+  /// \brief Effective shard count (after ShardMap clamping); 1 unsharded.
+  int num_shards() const {
+    return shards_ != nullptr ? shards_->num_shards() : 1;
+  }
+  /// \brief Newest published timestep (-1: none). Sharded: the barrier's
+  /// cross-shard published timestep.
+  int64_t published_latest_t() const {
+    return shards_ != nullptr ? shards_->published_latest_t()
+                              : epochs_.published_latest_t();
+  }
+  /// \brief Live epochs (sharded: the max across shards — 1 means every
+  /// shard reclaimed down to its published epoch).
+  int64_t live_epochs() const {
+    return shards_ != nullptr ? shards_->max_live_epochs()
+                              : epochs_.live_epochs();
+  }
+  /// \brief Store write-fault injection across the whole topology (every
+  /// shard's store, or the single store).
+  void SetWriteFault(Status fault) {
+    if (shards_ != nullptr) {
+      shards_->SetWriteFault(std::move(fault));
+    } else {
+      store_.SetWriteFault(std::move(fault));
+    }
+  }
+  void ClearWriteFault() {
+    if (shards_ != nullptr) {
+      shards_->ClearWriteFault();
+    } else {
+      store_.ClearWriteFault();
+    }
+  }
+  /// \brief The cross-shard epoch-consistency invariant: no pin ever
+  /// observed two timesteps, and all shards serve the same latest_t.
+  /// Trivially true unsharded.
+  bool CrossShardConsistent() const {
+    return shards_ == nullptr || shards_->Consistent();
+  }
+  /// \brief Sharded only: wall ms since shard k's last barrier flip.
+  double ShardPublishLagMs(int shard) const {
+    return shards_ != nullptr ? shards_->PublishLagMs(shard) : 0.0;
+  }
+  /// \brief The shard fleet; null when num_shards == 1.
+  ShardSet* shards() { return shards_.get(); }
 
   /// \brief Swaps the quad-tree index (topology change, e.g. after a
   /// re-search). Resolutions depend on the index, so this invalidates
@@ -160,6 +221,10 @@ class ServingRuntime {
   mutable std::shared_mutex server_mu_;
   std::unique_ptr<RegionQueryServer> server_;
 
+  /// Non-null iff options.num_shards > 1; then the ingestor publishes
+  /// through the barrier and queries scatter-gather (the single
+  /// store_/epochs_ pair above stays idle).
+  std::unique_ptr<ShardSet> shards_;
   std::unique_ptr<StreamIngestor> ingestor_;
   std::atomic<int64_t> inflight_{0};
 };

@@ -115,7 +115,7 @@ Result<TemporalInput> RollingWindow::AssembleInput(int64_t t) const {
 
 StreamIngestor::StreamIngestor(const STDataset* dataset,
                                FrameInference inference,
-                               FrameEpochManager* epochs,
+                               EpochSink* epochs,
                                ServingTelemetry* telemetry,
                                StreamIngestorOptions options)
     : dataset_(dataset),
@@ -304,26 +304,12 @@ void StreamIngestor::Run() {
       // refusal is absorbed, not fatal: the half-staged shadow
       // generation is dropped whole (readers never saw it), the failure
       // is counted, and the same timestep is retried on the next
-      // clearance.
+      // clearance. The sink decides the substrate — one epoch manager,
+      // or N band shards flipped behind a barrier.
       if (!fatal) {
         publish_timer.Restart();
-        FrameEpochManager::Staging staging =
-            epochs_->BeginEpoch(options_.carry_forward);
-        staging.set_trace(&trace_ctx);
-        {
-          ScopedSpan stage_span(&trace_ctx, SpanName::kStageFrames,
-                                static_cast<int64_t>(frames->size()));
-          for (size_t i = 0; i < frames->size() && publish_status.ok();
-               ++i) {
-            publish_status = staging.TryStageFrame(static_cast<int>(i) + 1,
-                                                   t, (*frames)[i]);
-          }
-        }
-        if (publish_status.ok()) {
-          ScopedSpan flip_span(&trace_ctx, SpanName::kPublish);
-          epochs_->Publish(std::move(staging));
-        }
-        // else: `staging` aborts itself going out of scope.
+        publish_status = epochs_->StageAndPublish(
+            t, *frames, options_.carry_forward, &trace_ctx);
       }
     }
     if (fatal) break;

@@ -102,10 +102,12 @@ struct StreamIngestorOptions {
 class StreamIngestor {
  public:
   /// \param dataset Source of replayed observations; must outlive this.
-  /// \param epochs Publication target; must outlive this.
+  /// \param epochs Publication target (a FrameEpochManager, or a
+  /// ShardSet flipping N band shards behind one barrier); must outlive
+  /// this.
   /// \param telemetry Optional; must outlive this when non-null.
   StreamIngestor(const STDataset* dataset, FrameInference inference,
-                 FrameEpochManager* epochs, ServingTelemetry* telemetry,
+                 EpochSink* epochs, ServingTelemetry* telemetry,
                  StreamIngestorOptions options);
   ~StreamIngestor();
 
@@ -156,7 +158,7 @@ class StreamIngestor {
 
   const STDataset* dataset_;
   FrameInference inference_;
-  FrameEpochManager* epochs_;
+  EpochSink* epochs_;
   ServingTelemetry* telemetry_;
   TraceRecorder* trace_;  ///< never null (options.trace or Global())
   StreamIngestorOptions options_;

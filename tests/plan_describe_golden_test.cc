@@ -17,6 +17,8 @@
 
 #include "query/query_planner.h"
 #include "query/query_spec.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
 
 namespace one4all {
 namespace {
@@ -70,6 +72,18 @@ std::string Explain(QuerySpec spec) {
   return plan.ok() ? plan->Describe() : std::string();
 }
 
+// EXPLAIN for a band-sharded deployment: the plan pipeline plus the
+// router's scatter section (home shard + per-band cell split per slot).
+std::string ExplainSharded(QuerySpec spec, int num_shards) {
+  const Hierarchy hierarchy = Hierarchy::Uniform(16, 16, 2, 16);
+  const QueryPlanner planner(&hierarchy);
+  auto plan = planner.Plan(std::move(spec));
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  if (!plan.ok()) return std::string();
+  const ShardMap map = ShardMap::Create(&hierarchy, num_shards);
+  return plan->Describe() + ShardRouter(&map).DescribeSplit(*plan);
+}
+
 TEST(PlanDescribeGoldenTest, PointInTime) {
   ExpectMatchesGolden(
       "point", Explain(QuerySpec::PointInTime(
@@ -95,6 +109,28 @@ TEST(PlanDescribeGoldenTest, TopK) {
   ExpectMatchesGolden(
       "top_k", Explain(QuerySpec::TopK(Group(), 8, 2,
                                        QueryStrategy::kUnionSubtraction)));
+}
+
+TEST(PlanDescribeGoldenTest, MultiRegionSharded) {
+  // Group()'s second rect spans atomic rows [4, 10) — it straddles the
+  // 4-shard band boundaries at rows 4 and 8, so its cells split across
+  // shards 1 and 2 while its home shard (anchor cell) is shard 1.
+  ExpectMatchesGolden(
+      "multi_region_sharded4",
+      ExplainSharded(QuerySpec::MultiRegion(
+                         Group(), 8, QueryStrategy::kUnionSubtraction),
+                     4));
+}
+
+TEST(PlanDescribeGoldenTest, TimeRangeSharded) {
+  // A tall rect crossing both band boundaries of a 3-shard map: every
+  // band contributes cells, home shard 0.
+  ExpectMatchesGolden(
+      "time_range_sharded3",
+      ExplainSharded(QuerySpec::TimeRange(Rect(1, 2, 15, 6), 8, 11,
+                                          TimeAggregation::kMean,
+                                          QueryStrategy::kUnionSubtraction),
+                     3));
 }
 
 }  // namespace

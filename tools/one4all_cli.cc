@@ -7,12 +7,14 @@
 //                        --rect 4,4,12,12 [--t <slot>] [--strategy usub]
 //                        [--t0 <slot> --t1 <slot>] [--agg sum|mean|max]
 //                        [--rects "r0,c0,r1,c1;..."] [--topk K] [--explain]
+//                        [--shards N]
 //   one4all_cli eval     --flows flows.bin --model model.bin --task 2
 //   one4all_cli search-structure --flows flows.bin --budget 50000
 //   one4all_cli serve    --flows flows.bin [--model model.bin]
 //                        [--steps 24] [--clients 2] [--batch 64]
 //                        [--publish-ms 20] [--retain 0] [--strategy usub]
-//                        [--report-ms 0] [--metrics-out metrics.prom]
+//                        [--shards N] [--report-ms 0]
+//                        [--metrics-out metrics.prom]
 //                        [--trace-out trace.json] [--sample-every 16]
 //   one4all_cli trace    --flows flows.bin [--model model.bin]
 //                        [--steps 8] [--slowest 5] [--out trace.json]
@@ -21,7 +23,16 @@
 // `query` compiles the flags into a typed QuerySpec (point-in-time,
 // time-range aggregation, multi-region group, or top-k ranking), plans
 // it, and runs it through the QueryExecutor; `--explain` prints the
-// compiled plan's stage pipeline.
+// compiled plan's stage pipeline. With `--shards N` the explain output
+// additionally shows the scatter plan an N-band sharded deployment would
+// run: each slot's home shard and how its atomic cells split across
+// bands (answers are bit-identical across shard counts, so the offline
+// executor's values stand for every N).
+//
+// `serve --shards N` runs the storm against the band-sharded topology:
+// the ingestor publishes all N bands behind one epoch barrier and every
+// query scatter-gathers across them; `--report-ms` delta lines then
+// carry per-shard publish lag so a straggler band is visible live.
 //
 // `serve` runs the online loop end-to-end: a background ingestor replays
 // N timesteps (model inference when --model is given, ground-truth
@@ -74,6 +85,8 @@
 #include "scenario/scenario_engine.h"
 #include "scenario/scenario_spec.h"
 #include "serve/serving_runtime.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
 
 using namespace one4all;
 
@@ -347,6 +360,17 @@ int CmdQuery(const Flags& flags) {
     return 1;
   }
   if (flags.Has("explain")) std::cout << plan->Describe();
+  // --shards N previews the scatter plan of an N-band deployment; the
+  // merge is bit-exact, so the single-store answers below stand for it.
+  const int num_shards = static_cast<int>(flags.GetInt("shards", 1));
+  ShardMap shard_map;
+  if (num_shards > 1) {
+    shard_map = ShardMap::Create(&dataset->hierarchy(), num_shards);
+    std::cout << shard_map.ToString() << "\n";
+    if (flags.Has("explain")) {
+      std::cout << ShardRouter(&shard_map).DescribeSplit(*plan);
+    }
+  }
   const QueryResult result =
       QueryExecutor(&pipeline->server()).Execute(*plan);
 
@@ -530,6 +554,7 @@ int RunServeWorkload(const Flags& flags, bool trace_mode) {
   options.retain_timesteps = flags.GetInt("retain", 0);
   options.num_query_threads = 1;
   options.strategy = ParseStrategy(flags);
+  options.num_shards = static_cast<int>(flags.GetInt("shards", 1));
   FrameInference inference =
       net != nullptr ? MakeOne4AllInference(net.get(), dataset.operator->())
                      : MakeGroundTruthInference(dataset.operator->());
@@ -580,7 +605,19 @@ int RunServeWorkload(const Flags& flags, bool trace_mode) {
                                         prev.epochs_published) / secs, 1)
              << " rejected=+" << (now.queries_rejected - prev.queries_rejected)
              << " failed=+" << (now.queries_failed - prev.queries_failed)
-             << " ring-drops=+" << (drops - prev_drops) << "\n";
+             << " ring-drops=+" << (drops - prev_drops);
+        if (runtime.sharded()) {
+          // Per-shard barrier lag: one straggler band stalls the whole
+          // flip, so the max of these is the publish-side health signal.
+          line << " shard-lag-ms=[";
+          for (int k = 0; k < runtime.num_shards(); ++k) {
+            if (k > 0) line << " ";
+            line << "s" << k << ":"
+                 << TablePrinter::Num(runtime.ShardPublishLagMs(k), 1);
+          }
+          line << "]";
+        }
+        line << "\n";
         std::cout << line.str() << std::flush;
         prev = now;
         prev_drops = drops;
@@ -597,7 +634,7 @@ int RunServeWorkload(const Flags& flags, bool trace_mode) {
       // spec shape, so the per-spec-kind telemetry below sees traffic.
       int shape = c;
       while (!runtime.ingestor().done()) {
-        const int64_t latest = runtime.epochs().published_latest_t();
+        const int64_t latest = runtime.published_latest_t();
         const int64_t span = latest - options.ingest.start_t + 1;
         auto random_region = [&] {
           return regions[static_cast<size_t>(rng.UniformInt(regions.size()))];
@@ -657,6 +694,14 @@ int RunServeWorkload(const Flags& flags, bool trace_mode) {
             << " timesteps under a " << clients << "-client storm ("
             << regions.size() << " distinct regions, batches of "
             << batch_size << ")\n";
+  if (runtime.sharded()) {
+    std::cout << "shard topology: " << runtime.num_shards()
+              << " band shards, barrier "
+              << (runtime.CrossShardConsistent() ? "consistent"
+                                                 : "INCONSISTENT")
+              << ", pin retries " << runtime.shards()->pin_retries()
+              << "\n";
+  }
 
   if (trace_mode) {
     const std::vector<TraceEvent> events = recorder.Snapshot();
@@ -675,7 +720,19 @@ int RunServeWorkload(const Flags& flags, bool trace_mode) {
   }
 
   runtime.Telemetry().Render().Print(std::cout);
-  const auto cache_stats = runtime.cache().Stats();
+  // Sharded runtimes resolve through per-shard caches; aggregate them
+  // so the hit-rate line reflects the caches actually probed.
+  ResolvedQueryCacheStats cache_stats;
+  if (runtime.sharded()) {
+    for (int k = 0; k < runtime.num_shards(); ++k) {
+      const auto s = runtime.shards()->shard(k).cache.Stats();
+      cache_stats.hits += s.hits;
+      cache_stats.misses += s.misses;
+      cache_stats.invalidations += s.invalidations;
+    }
+  } else {
+    cache_stats = runtime.cache().Stats();
+  }
   std::cout << "resolve cache: hit rate "
             << TablePrinter::Num(cache_stats.hit_rate() * 100.0, 1)
             << "% over " << (cache_stats.hits + cache_stats.misses)
