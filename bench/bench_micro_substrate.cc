@@ -9,6 +9,7 @@
 #include "grid/polygon.h"
 #include "grid/region_generator.h"
 #include "index/quadtree.h"
+#include "kvstore/kvstore.h"
 #include "kvstore/prediction_store.h"
 #include "model/predictor.h"
 #include "nn/layers.h"
@@ -217,7 +218,22 @@ BENCHMARK(BM_CombinationSearch);
 
 void BM_KvStorePutGet(benchmark::State& state) {
   KvStore store;
-  PredictionStore preds(&store);
+  Rng rng(7);
+  Tensor frame = Tensor::RandomUniform({32, 32}, &rng);
+  const std::string blob(reinterpret_cast<const char*>(frame.data()),
+                         sizeof(float) * static_cast<size_t>(frame.numel()));
+  int64_t t = 0;
+  for (auto _ : state) {
+    store.Put("frame/" + std::to_string(t % 64), blob);
+    benchmark::DoNotOptimize(store.Get("frame/" + std::to_string(t % 64)));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvStorePutGet);
+
+void BM_PredictionStoreSyncGet(benchmark::State& state) {
+  PredictionStore preds;
   Rng rng(7);
   Tensor frame = Tensor::RandomUniform({32, 32}, &rng);
   int64_t t = 0;
@@ -228,7 +244,7 @@ void BM_KvStorePutGet(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_KvStorePutGet);
+BENCHMARK(BM_PredictionStoreSyncGet);
 
 }  // namespace
 }  // namespace one4all

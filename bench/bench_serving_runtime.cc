@@ -21,16 +21,26 @@
 // is recorded with "oversubscribed": true and the speedup is flagged,
 // not gated.
 //
+// A fifth phase measures publish cost against churn (ISSUE 10): the
+// same epoch publish loop at 1/5/25/100% dirty fraction, full-rebuild
+// staging vs delta staging with a dirty-tile set, written to
+// BENCH_publish.json. Gated: incremental cost scales with the dirty
+// fraction and epochs/sec at 5% churn beats the full rebuild >= 10x.
+//
 // Emits BENCH_serving.json (override with O4A_BENCH_JSON, empty
-// disables). Env knobs: O4A_BENCH_QUERIES (static-phase stream length),
-// O4A_BENCH_CLIENTS (storm client threads), O4A_BENCH_STRICT (default
-// 1: exit nonzero when a shape check misses).
+// disables) and BENCH_publish.json (O4A_PUBLISH_JSON). Env knobs:
+// O4A_BENCH_QUERIES (static-phase stream length), O4A_BENCH_CLIENTS
+// (storm client threads), O4A_PUBLISH_GRID / O4A_PUBLISH_EPOCHS /
+// O4A_PUBLISH_REPS (churn-curve layer size, epochs per point, and
+// best-of repetitions), O4A_BENCH_STRICT (default 1: exit nonzero
+// when a shape check misses).
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -74,10 +84,14 @@ struct StormOutcome {
 /// One row of the shard-scaling curve (phase 4).
 struct ShardScalingRow {
   int shards = 1;
+  int clients = 0;  ///< storm clients this row was sized to
   double qps = 0.0;
   int64_t answered = 0;
   bool consistent = true;
   int64_t pin_retries = 0;
+  /// Even the minimum storm (2 clients x this row's scatter width)
+  /// exceeds the hardware threads: recorded but exempt from the gate.
+  bool oversubscribed = false;
 };
 
 struct ServingResult {
@@ -97,9 +111,6 @@ struct ServingResult {
   int64_t ring_events = 0;
   int64_t ring_dropped = 0;
   std::vector<ShardScalingRow> shard_scaling;
-  /// storm clients x shards exceeds the hardware threads: the curve is
-  /// recorded but the >= 2x @ 4 shards gate is flagged, not enforced.
-  bool oversubscribed = false;
   double shard_speedup_4x = 0.0;  ///< 4-shard qps / 1-shard qps (phase 4)
   std::array<SpanAggregate, kNumSpanNames> stages{};
 };
@@ -111,11 +122,15 @@ StormOutcome RunStorm(const STDataset& dataset,
                       const ExtendedQuadTree& index,
                       const std::vector<GridMask>& regions, int clients,
                       QueryStrategy strategy, TraceRecorder* recorder,
-                      const char* label, int num_shards = 1) {
+                      const char* label, int num_shards = 1,
+                      int query_threads = 1) {
   const auto& slots = dataset.test_indices();
   ServingRuntimeOptions options;
   options.strategy = strategy;
-  options.num_query_threads = 1;  // concurrency comes from the clients
+  // Unsharded storms drive concurrency from the clients alone; sharded
+  // phase-4 rows pass 0 so each batch's scatter fans out on the shared
+  // pool instead of serializing N sub-queries in the client thread.
+  options.num_query_threads = query_threads;
   options.max_inflight_queries = 1 << 20;
   options.trace = recorder;
   options.num_shards = num_shards;
@@ -238,16 +253,17 @@ void WriteJson(const std::string& path, const ServingResult& r,
   for (size_t i = 0; i < r.shard_scaling.size(); ++i) {
     const auto& row = r.shard_scaling[i];
     js << (i == 0 ? "" : ", ") << "{\"shards\": " << row.shards
+       << ", \"clients\": " << row.clients
        << ", \"qps\": " << TablePrinter::Num(row.qps, 0)
        << ", \"answered\": " << row.answered << ", \"consistent\": "
        << (row.consistent ? "true" : "false")
-       << ", \"pin_retries\": " << row.pin_retries << "}";
+       << ", \"pin_retries\": " << row.pin_retries
+       << ", \"oversubscribed\": "
+       << (row.oversubscribed ? "true" : "false") << "}";
   }
   js << "],\n";
   js << "  \"shard_speedup_4x\": "
      << TablePrinter::Num(r.shard_speedup_4x, 3) << ",\n";
-  js << "  \"oversubscribed\": " << (r.oversubscribed ? "true" : "false")
-     << ",\n";
   // Stage-attributed latency breakdown from the obs-on storm's spans.
   js << "  \"stage_count\": {";
   bool first = true;
@@ -270,6 +286,190 @@ void WriteJson(const std::string& path, const ServingResult& r,
     first = false;
   }
   js << "}\n";
+  js << "}\n";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not open " << path << " for writing\n";
+    return;
+  }
+  out << js.str();
+  std::cout << "wrote " << path << "\n";
+}
+
+// ---------------------------------------------------------------------
+// Phase 5: publish cost vs churn (ISSUE 10)
+
+/// One churn point of the publish-cost curve.
+struct ChurnRow {
+  double churn_pct = 0.0;      ///< requested dirty fraction, percent
+  int64_t dirty_tiles = 0;     ///< tiles the churn rect actually marks
+  double full_ms = 0.0;        ///< mean ms/epoch, full-rebuild staging
+  double incremental_ms = 0.0; ///< mean ms/epoch, delta staging
+  double speedup = 0.0;        ///< full_ms / incremental_ms
+  int64_t cow_shared_tiles = 0;
+  int64_t stage_dirty_tiles = 0;
+};
+
+struct PublishChurnResult {
+  int64_t height = 0, width = 0, total_tiles = 0;
+  int64_t epochs_per_point = 0;
+  std::vector<ChurnRow> curve;
+  double speedup_at_5pct = 0.0;
+};
+
+/// Publishes `epochs` carry-forward epochs of one HxW layer, mutating a
+/// tile-aligned square covering ~`churn` of the grid each timestep;
+/// `incremental` stages with the churn rect's dirty set, the comparator
+/// stages everything fresh. The square is tile-aligned so the requested
+/// churn fraction and the dirty-tile fraction coincide — an unaligned
+/// rect would only add tile-quantization overhead to every point, which
+/// is not what the curve plots. Returns mean milliseconds per publish,
+/// timing BeginEpoch through Publish only. The frame mutation and dirty
+/// marking stay outside the timer, and the dirty set is an input on
+/// purpose: the bench isolates staging+plane+publish cost — the
+/// ingestor's mutation and frame diff belong to ingest cost, measured
+/// by the storm.
+double RunPublishLoop(int64_t h, int64_t w, double churn, int64_t epochs,
+                      bool incremental, ServingTelemetry* telemetry,
+                      int64_t* dirty_tiles_out) {
+  PredictionStore store;
+  FrameEpochManagerOptions options;
+  options.retain_timesteps = 2;  // constant carry cost per epoch
+  FrameEpochManager manager(&store, telemetry, options);
+
+  Rng rng(1234);
+  Tensor frame = Tensor::RandomUniform({h, w}, &rng, 0.0f, 50.0f);
+  {
+    auto staging = manager.BeginEpoch(/*carry_forward=*/false);
+    staging.StageFrame(1, 0, frame);
+    manager.Publish(std::move(staging));
+  }
+
+  const TileDirtySet probe(h, w);
+  const int64_t side_tiles = std::min(
+      std::min(probe.tiles_h(), probe.tiles_w()),
+      std::max<int64_t>(
+          1, std::llround(std::sqrt(
+                 churn * static_cast<double>(probe.num_tiles())))));
+  double publish_seconds = 0.0;
+  for (int64_t t = 1; t <= epochs; ++t) {
+    // Rotate the churn square through the grid so successive epochs
+    // dirty different tiles (no warm-tile artifacts).
+    const int64_t i0 = (t * 7) % (probe.tiles_h() - side_tiles + 1);
+    const int64_t j0 = (t * 11) % (probe.tiles_w() - side_tiles + 1);
+    const int64_t r0 = i0 * kSatTileSize;
+    const int64_t c0 = j0 * kSatTileSize;
+    const int64_t r1 = std::min(h, (i0 + side_tiles) * kSatTileSize);
+    const int64_t c1 = std::min(w, (j0 + side_tiles) * kSatTileSize);
+    for (int64_t r = r0; r < r1; ++r) {
+      float* row = frame.data() + r * w;
+      for (int64_t c = c0; c < c1; ++c) {
+        row[c] += 0.5f;
+      }
+    }
+    TileDirtySet dirty(h, w);
+    dirty.MarkRect(r0, c0, r1, c1);
+    if (dirty_tiles_out != nullptr) *dirty_tiles_out = dirty.CountDirty();
+
+    Stopwatch timer;
+    auto staging = manager.BeginEpoch(/*carry_forward=*/true);
+    const Status status =
+        staging.TryStageFrame(1, t, frame, incremental ? &dirty : nullptr);
+    O4A_CHECK(status.ok()) << status.ToString();
+    manager.Publish(std::move(staging));
+    publish_seconds += timer.ElapsedSeconds();
+  }
+  return publish_seconds * 1e3 / static_cast<double>(epochs);
+}
+
+PublishChurnResult RunPublishChurn() {
+  PublishChurnResult result;
+  result.height = EnvInt("O4A_PUBLISH_GRID", 2048);
+  result.width = result.height;
+  result.epochs_per_point = EnvInt("O4A_PUBLISH_EPOCHS", 30);
+  {
+    const TileDirtySet probe(result.height, result.width);
+    result.total_tiles = probe.num_tiles();
+  }
+
+  // Best-of-reps: each point's mean ms/epoch is itself noisy on a
+  // loaded box (allocator and scheduler interference), and the work per
+  // epoch is deterministic, so the minimum across repetitions is the
+  // least-contaminated estimate of either path's true cost.
+  const int64_t reps = EnvInt("O4A_PUBLISH_REPS", 3);
+  for (const double churn : {0.01, 0.05, 0.25, 1.0}) {
+    ChurnRow row;
+    row.churn_pct = churn * 100.0;
+    row.full_ms = std::numeric_limits<double>::infinity();
+    row.incremental_ms = std::numeric_limits<double>::infinity();
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      row.full_ms = std::min(
+          row.full_ms,
+          RunPublishLoop(result.height, result.width, churn,
+                         result.epochs_per_point, /*incremental=*/false,
+                         nullptr, nullptr));
+      // Counters are deterministic across reps; keep the last snapshot.
+      ServingTelemetry telemetry;
+      row.incremental_ms = std::min(
+          row.incremental_ms,
+          RunPublishLoop(result.height, result.width, churn,
+                         result.epochs_per_point, /*incremental=*/true,
+                         &telemetry, &row.dirty_tiles));
+      const auto snapshot = telemetry.Snapshot();
+      row.cow_shared_tiles = snapshot.cow_shared_tiles;
+      row.stage_dirty_tiles = snapshot.stage_dirty_tiles;
+    }
+    row.speedup = row.full_ms / std::max(1e-9, row.incremental_ms);
+    result.curve.push_back(row);
+    if (churn == 0.05) result.speedup_at_5pct = row.speedup;
+  }
+
+  TablePrinter table("Publish cost vs churn (" +
+                     std::to_string(result.height) + "x" +
+                     std::to_string(result.width) + " layer, " +
+                     std::to_string(result.epochs_per_point) +
+                     " epochs/point)");
+  table.SetHeader({"Churn %", "dirty tiles", "full ms", "incr ms",
+                   "speedup"});
+  for (const auto& row : result.curve) {
+    table.AddRow({TablePrinter::Num(row.churn_pct, 0),
+                  std::to_string(row.dirty_tiles) + "/" +
+                      std::to_string(result.total_tiles),
+                  TablePrinter::Num(row.full_ms, 3),
+                  TablePrinter::Num(row.incremental_ms, 3),
+                  TablePrinter::Num(row.speedup, 1)});
+  }
+  table.Print(std::cout);
+  return result;
+}
+
+void WritePublishJson(const std::string& path,
+                      const PublishChurnResult& r) {
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"bench\": \"publish_churn\",\n";
+  js << "  \"height\": " << r.height << ",\n";
+  js << "  \"width\": " << r.width << ",\n";
+  js << "  \"total_tiles\": " << r.total_tiles << ",\n";
+  js << "  \"epochs_per_point\": " << r.epochs_per_point << ",\n";
+  js << "  \"curve\": [";
+  for (size_t i = 0; i < r.curve.size(); ++i) {
+    const auto& row = r.curve[i];
+    js << (i == 0 ? "" : ", ") << "{\"churn_pct\": "
+       << TablePrinter::Num(row.churn_pct, 0)
+       << ", \"dirty_tiles\": " << row.dirty_tiles
+       << ", \"full_ms_per_epoch\": " << TablePrinter::Num(row.full_ms, 4)
+       << ", \"incremental_ms_per_epoch\": "
+       << TablePrinter::Num(row.incremental_ms, 4)
+       << ", \"incremental_epochs_per_sec\": "
+       << TablePrinter::Num(1e3 / std::max(1e-9, row.incremental_ms), 0)
+       << ", \"speedup\": " << TablePrinter::Num(row.speedup, 2)
+       << ", \"stage_dirty_tiles\": " << row.stage_dirty_tiles
+       << ", \"cow_shared_tiles\": " << row.cow_shared_tiles << "}";
+  }
+  js << "],\n";
+  js << "  \"speedup_at_5pct_churn\": "
+     << TablePrinter::Num(r.speedup_at_5pct, 2) << "\n";
   js << "}\n";
   std::ofstream out(path);
   if (!out) {
@@ -404,55 +604,68 @@ int main_impl() {
 
   // -- Phase 4: shard-scaling curve -----------------------------------
   // The same storm against 1/2/4/8 band shards, recorder disabled so
-  // the curve measures the scatter-gather path alone. On a box where
-  // shards x clients exceeds the hardware threads the runs time-slice
-  // one another, so the curve is recorded and flagged, not gated.
-  result.oversubscribed =
-      static_cast<int64_t>(8) * clients > ThreadPool::HardwareThreads();
+  // the curve measures the scatter-gather path alone. Each row is sized
+  // to the machine: clients x scatter width ~ hardware threads (scatter
+  // fans out on the shared pool), so the curve compares shard scaling
+  // rather than time-slicing a fixed oversized storm. Only a row whose
+  // minimum storm (2 clients x shards) still exceeds the box — in
+  // practice the 8-shard row on small machines — is flagged
+  // oversubscribed and exempted from the speedup gate.
+  const int hw = ThreadPool::HardwareThreads();
   for (const int shards : {1, 2, 4, 8}) {
+    const int row_clients = std::max(
+        2, std::min(clients, shards > 1 ? hw / shards : hw - 1));
     TraceRecorder recorder;
     recorder.set_enabled(false);
     const std::string label =
         "storm (" + std::to_string(shards) + " shard" +
-        (shards > 1 ? "s" : "") + ")";
-    const StormOutcome outcome =
-        RunStorm(dataset, pipeline->index(), regions, clients, strategy,
-                 &recorder, label.c_str(), shards);
+        (shards > 1 ? "s" : "") + ", " + std::to_string(row_clients) +
+        " clients)";
+    const StormOutcome outcome = RunStorm(
+        dataset, pipeline->index(), regions, row_clients, strategy,
+        &recorder, label.c_str(), shards, shards > 1 ? 0 : 1);
     ShardScalingRow row;
     row.shards = shards;
+    row.clients = row_clients;
     row.qps = outcome.qps;
     row.answered = outcome.answered;
     row.consistent =
         outcome.cross_shard_consistent && outcome.inconsistent == 0;
     row.pin_retries = outcome.pin_retries;
+    row.oversubscribed = 2 * shards > hw;
     result.shard_scaling.push_back(row);
   }
   result.shard_speedup_4x =
       result.shard_scaling[2].qps /
       std::max(1.0, result.shard_scaling[0].qps);
   {
-    TablePrinter scaling(
-        "Shard-scaling storm QPS (" + std::to_string(clients) +
-        " clients" + (result.oversubscribed ? ", OVERSUBSCRIBED" : "") +
-        ")");
-    scaling.SetHeader(
-        {"Shards", "queries/s", "vs 1 shard", "pin retries"});
+    TablePrinter scaling("Shard-scaling storm QPS (" +
+                         std::to_string(hw) + " hardware threads)");
+    scaling.SetHeader({"Shards", "clients", "queries/s", "vs 1 shard",
+                       "pin retries"});
     for (const auto& row : result.shard_scaling) {
-      scaling.AddRow({std::to_string(row.shards),
-                      TablePrinter::Num(row.qps, 0),
-                      TablePrinter::Num(
-                          row.qps / std::max(1.0,
-                                             result.shard_scaling[0].qps),
-                          2),
-                      std::to_string(row.pin_retries)});
+      scaling.AddRow(
+          {std::to_string(row.shards) +
+               (row.oversubscribed ? " (oversubscribed)" : ""),
+           std::to_string(row.clients), TablePrinter::Num(row.qps, 0),
+           TablePrinter::Num(
+               row.qps / std::max(1.0, result.shard_scaling[0].qps), 2),
+           std::to_string(row.pin_retries)});
     }
     scaling.Print(std::cout);
   }
+
+  // -- Phase 5: publish cost vs churn ---------------------------------
+  const PublishChurnResult publish = RunPublishChurn();
 
   const char* json_env = std::getenv("O4A_BENCH_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_serving.json";
   if (!json_path.empty()) WriteJson(json_path, result, clients);
+  const char* publish_env = std::getenv("O4A_PUBLISH_JSON");
+  const std::string publish_path =
+      publish_env != nullptr ? publish_env : "BENCH_publish.json";
+  if (!publish_path.empty()) WritePublishJson(publish_path, publish);
 
   const bool throughput_ok = result.ratio >= 0.5;
   const bool cadence_ok = result.mean_publish_interval_ms <= 50.0;
@@ -462,10 +675,12 @@ int main_impl() {
   for (const auto& row : result.shard_scaling) {
     shard_consistent_ok = shard_consistent_ok && row.consistent;
   }
-  // The scaling gate needs real parallel headroom; an oversubscribed
-  // box records the curve but cannot meaningfully enforce a speedup.
+  // The scaling gate needs real parallel headroom; it is skipped only
+  // when the 4-shard row itself could not fit the machine.
+  const bool gate_row_oversubscribed =
+      result.shard_scaling[2].oversubscribed;
   const bool scaling_ok =
-      result.oversubscribed || result.shard_speedup_4x >= 2.0;
+      gate_row_oversubscribed || result.shard_speedup_4x >= 2.0;
   PrintShapeCheck(
       "serving throughput within 2x of the static-store baseline",
       throughput_ok);
@@ -478,15 +693,28 @@ int main_impl() {
       "every shard-scaling row consistent (bit-exact, zero torn pins)",
       shard_consistent_ok);
   PrintShapeCheck(
-      result.oversubscribed
+      gate_row_oversubscribed
           ? ">= 2x storm QPS at 4 shards (SKIPPED: oversubscribed box)"
           : ">= 2x storm QPS at 4 shards vs 1 shard",
       scaling_ok);
+  // Publish-churn gates: incremental cost actually scales with the
+  // dirty fraction, and 5% churn publishes >= 10x faster than a full
+  // rebuild — the ISSUE-10 acceptance bar.
+  const bool churn_scaling_ok =
+      publish.curve.front().incremental_ms <
+      publish.curve.back().incremental_ms;
+  const bool churn_speedup_ok = publish.speedup_at_5pct >= 10.0;
+  PrintShapeCheck(
+      "incremental publish cost scales with the dirty fraction",
+      churn_scaling_ok);
+  PrintShapeCheck(">= 10x epochs/sec at 5% churn vs full rebuild",
+                  churn_speedup_ok);
 
   const char* strict_env = std::getenv("O4A_BENCH_STRICT");
   const bool strict = strict_env == nullptr || std::atoi(strict_env) != 0;
   const bool ok = throughput_ok && cadence_ok && consistent_ok &&
-                  overhead_ok && shard_consistent_ok && scaling_ok;
+                  overhead_ok && shard_consistent_ok && scaling_ok &&
+                  churn_scaling_ok && churn_speedup_ok;
   return (ok || !strict) ? 0 : 1;
 }
 

@@ -93,12 +93,11 @@ class MauPipeline {
   double search_seconds() const { return search_seconds_; }
 
  private:
-  MauPipeline() : store_(&kv_) {}
+  MauPipeline() = default;
 
   const STDataset* dataset_ = nullptr;
   CombinationSearchResult search_;
   ExtendedQuadTree index_;
-  KvStore kv_;
   PredictionStore store_;
   std::unique_ptr<RegionQueryServer> server_;
   std::vector<int64_t> test_;

@@ -1,46 +1,12 @@
 #include "kvstore/prediction_store.h"
 
-#include <cstdlib>
-#include <cstring>
+#include <climits>
+#include <utility>
+#include <vector>
 
 #include "core/logging.h"
 
 namespace one4all {
-
-std::string PredictionStore::GenerationPrefix(int64_t generation) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "pred/%08lld/",
-                static_cast<long long>(generation));
-  return buf;
-}
-
-std::string PredictionStore::FrameKeyAt(int64_t generation, int layer,
-                                        int64_t t) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "pred/%08lld/%02d/%012lld",
-                static_cast<long long>(generation), layer,
-                static_cast<long long>(t));
-  return buf;
-}
-
-std::string PredictionStore::SatPlaneKeyAt(int64_t generation, int layer,
-                                           int64_t t) {
-  // Same 12-digit timestep suffix as FrameKeyAt, so the timestep parses
-  // in CopyGeneration / DropFramesBelow work on plane keys unchanged.
-  char buf[72];
-  std::snprintf(buf, sizeof(buf), "pred/%08lld/sat/%02d/%012lld",
-                static_cast<long long>(generation), layer,
-                static_cast<long long>(t));
-  return buf;
-}
-
-std::string PredictionStore::SatPlanePrefix(int64_t generation) {
-  return GenerationPrefix(generation) + "sat/";
-}
-
-std::string PredictionStore::FrameKey(int layer, int64_t t) {
-  return FrameKeyAt(0, layer, t);
-}
 
 void PredictionStore::SyncFrame(int layer, int64_t t, const Tensor& frame) {
   SyncFrameAt(0, layer, t, frame);
@@ -69,6 +35,14 @@ Status PredictionStore::WriteFault() const {
   return fault_;
 }
 
+bool PredictionStore::SnapshotEntry(const Key& key, Entry* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
 void PredictionStore::SyncFrameAt(int64_t generation, int layer, int64_t t,
                                   const Tensor& frame) {
   const Status status = TrySyncFrameAt(generation, layer, t, frame);
@@ -80,21 +54,48 @@ Status PredictionStore::TrySyncFrameAt(int64_t generation, int layer,
                                        int64_t t, const Tensor& frame) {
   O4A_RETURN_NOT_OK(WriteFault());
   O4A_CHECK_EQ(frame.ndim(), 2u);
+  // Tiling happens outside the lock; the map mutation is a pointer swap.
+  auto tiled = std::make_shared<const TiledFrame>(TiledFrame::FromTensor(frame));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& entry = entries_[Key{generation, layer, t}];
+  entry.frame = std::move(tiled);
   // A frame write invalidates its derived plane: without this, a writer
   // that overwrites a carried-forward frame (e.g. a re-staged timestep
   // with plane building disabled) would leave the previous frame's
   // plane behind for the SAT fast path to silently read. Writers that
-  // do build planes re-sync the fresh plane right after.
-  (void)store_->Delete(SatPlaneKeyAt(generation, layer, t));
-  const int32_t h = static_cast<int32_t>(frame.dim(0));
-  const int32_t w = static_cast<int32_t>(frame.dim(1));
-  std::string blob;
-  blob.resize(8 + sizeof(float) * static_cast<size_t>(frame.numel()));
-  std::memcpy(blob.data(), &h, 4);
-  std::memcpy(blob.data() + 4, &w, 4);
-  std::memcpy(blob.data() + 8, frame.data(),
-              sizeof(float) * static_cast<size_t>(frame.numel()));
-  store_->Put(FrameKeyAt(generation, layer, t), std::move(blob));
+  // do build planes rebuild the fresh plane right after.
+  entry.plane.reset();
+  entry.dirty.reset();
+  return Status::OK();
+}
+
+Status PredictionStore::TrySyncFrameDeltaAt(int64_t generation, int layer,
+                                            int64_t t, const Tensor& frame,
+                                            int64_t base_t,
+                                            const TileDirtySet& dirty,
+                                            StageStats* stats) {
+  O4A_RETURN_NOT_OK(WriteFault());
+  O4A_CHECK_EQ(frame.ndim(), 2u);
+  Entry base;
+  const bool have_base =
+      SnapshotEntry(Key{generation, layer, base_t}, &base) &&
+      base.frame != nullptr;
+  int64_t shared = 0;
+  auto tiled = std::make_shared<const TiledFrame>(
+      have_base ? TiledFrame::FromDelta(frame, *base.frame, dirty, &shared)
+                : TiledFrame::FromTensor(frame));
+  if (stats != nullptr) {
+    stats->frame_tiles_total = tiled->tiles_h() * tiled->tiles_w();
+    stats->frame_tiles_shared = shared;
+  }
+  auto recorded = dirty.empty()
+                      ? std::shared_ptr<const TileDirtySet>()
+                      : std::make_shared<const TileDirtySet>(dirty);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& entry = entries_[Key{generation, layer, t}];
+  entry.frame = std::move(tiled);
+  entry.plane.reset();
+  entry.dirty = std::move(recorded);
   return Status::OK();
 }
 
@@ -104,21 +105,37 @@ Result<Tensor> PredictionStore::GetFrame(int layer, int64_t t) const {
 
 Result<Tensor> PredictionStore::GetFrameAt(int64_t generation, int layer,
                                            int64_t t) const {
-  O4A_ASSIGN_OR_RETURN(std::string blob,
-                       store_->Get(FrameKeyAt(generation, layer, t)));
-  if (blob.size() < 8) {
-    return Status::Internal("corrupt prediction frame blob");
+  O4A_ASSIGN_OR_RETURN(std::shared_ptr<const TiledFrame> frame,
+                       GetTiledFrameAt(generation, layer, t));
+  return frame->Materialize();
+}
+
+Result<std::shared_ptr<const TiledFrame>> PredictionStore::GetTiledFrameAt(
+    int64_t generation, int layer, int64_t t) const {
+  Entry entry;
+  if (!SnapshotEntry(Key{generation, layer, t}, &entry) ||
+      entry.frame == nullptr) {
+    return Status::NotFound("no prediction frame for key");
   }
-  int32_t h = 0, w = 0;
-  std::memcpy(&h, blob.data(), 4);
-  std::memcpy(&w, blob.data() + 4, 4);
-  if (blob.size() != 8 + sizeof(float) * static_cast<size_t>(h) *
-                             static_cast<size_t>(w)) {
-    return Status::Internal("prediction frame size mismatch");
+  return entry.frame;
+}
+
+Result<std::shared_ptr<const TiledSatPlane>>
+PredictionStore::GetTiledSatPlaneAt(int64_t generation, int layer,
+                                    int64_t t) const {
+  Entry entry;
+  if (!SnapshotEntry(Key{generation, layer, t}, &entry) ||
+      entry.plane == nullptr) {
+    return Status::NotFound("no summed-area plane for key");
   }
-  Tensor frame({h, w});
-  std::memcpy(frame.data(), blob.data() + 8, blob.size() - 8);
-  return frame;
+  return entry.plane;
+}
+
+std::shared_ptr<const TileDirtySet> PredictionStore::GetDirtyAt(
+    int64_t generation, int layer, int64_t t) const {
+  Entry entry;
+  if (!SnapshotEntry(Key{generation, layer, t}, &entry)) return nullptr;
+  return entry.dirty;
 }
 
 float PredictionStore::GetValue(int layer, int64_t t, int64_t row,
@@ -137,76 +154,103 @@ Result<float> PredictionStore::TryGetValue(int layer, int64_t t, int64_t row,
 Result<float> PredictionStore::TryGetValueAt(int64_t generation, int layer,
                                              int64_t t, int64_t row,
                                              int64_t col) const {
-  O4A_ASSIGN_OR_RETURN(Tensor frame, GetFrameAt(generation, layer, t));
-  if (row < 0 || row >= frame.dim(0) || col < 0 || col >= frame.dim(1)) {
+  O4A_ASSIGN_OR_RETURN(std::shared_ptr<const TiledFrame> frame,
+                       GetTiledFrameAt(generation, layer, t));
+  if (row < 0 || row >= frame->height() || col < 0 ||
+      col >= frame->width()) {
     return Status::OutOfRange("grid cell outside prediction frame");
   }
-  return frame.at(row, col);
+  return frame->at(row, col);
 }
 
-void PredictionStore::SyncSatPlaneAt(int64_t generation, int layer,
-                                     int64_t t, const SatPlane& plane) {
-  const Status status = TrySyncSatPlaneAt(generation, layer, t, plane);
-  O4A_CHECK(status.ok()) << "prediction store refused plane write: "
-                         << status.ToString();
-}
-
-Status PredictionStore::TrySyncSatPlaneAt(int64_t generation, int layer,
-                                          int64_t t, const SatPlane& plane) {
+Status PredictionStore::TryBuildSatPlaneAt(int64_t generation, int layer,
+                                           int64_t t, ThreadPool* pool) {
   O4A_RETURN_NOT_OK(WriteFault());
-  const int32_t h = static_cast<int32_t>(plane.height());
-  const int32_t w = static_cast<int32_t>(plane.width());
-  std::string blob;
-  blob.resize(8 + sizeof(double) * static_cast<size_t>(plane.numel()));
-  std::memcpy(blob.data(), &h, 4);
-  std::memcpy(blob.data() + 4, &w, 4);
-  std::memcpy(blob.data() + 8, plane.data(),
-              sizeof(double) * static_cast<size_t>(plane.numel()));
-  store_->Put(SatPlaneKeyAt(generation, layer, t), std::move(blob));
+  O4A_ASSIGN_OR_RETURN(std::shared_ptr<const TiledFrame> frame,
+                       GetTiledFrameAt(generation, layer, t));
+  auto plane = std::make_shared<const TiledSatPlane>(
+      TiledSatPlane::Build(*frame, pool));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(Key{generation, layer, t});
+  // The frame could have been dropped or overwritten while we built
+  // outside the lock; attaching a stale plane to a fresh frame would
+  // hand the fast path wrong sums, so only publish onto the same frame.
+  if (it == entries_.end() || it->second.frame != frame) {
+    return Status::OK();
+  }
+  it->second.plane = std::move(plane);
+  return Status::OK();
+}
+
+Status PredictionStore::TryBuildSatPlaneDeltaAt(int64_t generation, int layer,
+                                                int64_t t, int64_t base_t,
+                                                ThreadPool* pool,
+                                                StageStats* stats) {
+  O4A_RETURN_NOT_OK(WriteFault());
+  Entry entry;
+  if (!SnapshotEntry(Key{generation, layer, t}, &entry) ||
+      entry.frame == nullptr) {
+    return Status::NotFound("no prediction frame for key");
+  }
+  Entry base;
+  const bool have_base =
+      SnapshotEntry(Key{generation, layer, base_t}, &base) &&
+      base.plane != nullptr;
+  int64_t reused = 0;
+  auto plane = std::make_shared<const TiledSatPlane>(
+      have_base && entry.dirty != nullptr
+          ? TiledSatPlane::BuildDelta(*entry.frame, *base.plane,
+                                      *entry.dirty, &reused, pool)
+          : TiledSatPlane::Build(*entry.frame, pool));
+  if (stats != nullptr) stats->plane_tiles_reused = reused;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(Key{generation, layer, t});
+  if (it == entries_.end() || it->second.frame != entry.frame) {
+    return Status::OK();
+  }
+  it->second.plane = std::move(plane);
   return Status::OK();
 }
 
 Result<SatPlane> PredictionStore::GetSatPlaneAt(int64_t generation,
                                                 int layer, int64_t t) const {
-  O4A_ASSIGN_OR_RETURN(std::string blob,
-                       store_->Get(SatPlaneKeyAt(generation, layer, t)));
-  if (blob.size() < 8) {
-    return Status::Internal("corrupt summed-area plane blob");
+  Entry entry;
+  if (!SnapshotEntry(Key{generation, layer, t}, &entry) ||
+      entry.plane == nullptr) {
+    return Status::NotFound("no summed-area plane for key");
   }
-  int32_t h = 0, w = 0;
-  std::memcpy(&h, blob.data(), 4);
-  std::memcpy(&w, blob.data() + 4, 4);
-  // Validate against the untrusted header BEFORE allocating the plane —
-  // a corrupt blob must produce a Status, not a bad_alloc.
-  if (h < 0 || w < 0 ||
-      blob.size() != 8 + sizeof(double) *
-                             static_cast<size_t>(int64_t{h} + 1) *
-                             static_cast<size_t>(int64_t{w} + 1)) {
-    return Status::Internal("summed-area plane size mismatch");
-  }
-  SatPlane plane(h, w);
-  std::memcpy(plane.data(), blob.data() + 8, blob.size() - 8);
-  return plane;
+  // Rebuilt from the materialized frame rather than the tiled plane, so
+  // the result is bit-identical to BuildSatPlane of the synced frame —
+  // the legacy surface older tests and tools pin. O(cells); hot readers
+  // use GetTiledSatPlaneAt.
+  return BuildSatPlane(entry.frame->Materialize());
 }
 
 bool PredictionStore::HasSatPlaneAt(int64_t generation, int layer,
                                     int64_t t) const {
-  return store_->Contains(SatPlaneKeyAt(generation, layer, t));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(Key{generation, layer, t});
+  return it != entries_.end() && it->second.plane != nullptr;
 }
 
 int64_t PredictionStore::BuildSatPlanes(int64_t generation,
                                         ThreadPool* pool) {
-  const std::string prefix = GenerationPrefix(generation);
+  // Snapshot the generation's keys first: building happens outside the
+  // lock and must not iterate a mutating map.
+  std::vector<Key> keys;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (auto it = entries_.lower_bound(Key{generation, INT_MIN, INT64_MIN});
+         it != entries_.end() && std::get<0>(it->first) == generation; ++it) {
+      keys.push_back(it->first);
+    }
+  }
   int64_t built = 0;
-  for (const std::string& key : store_->KeysWithPrefix(prefix)) {
-    if (key.compare(prefix.size(), 4, "sat/") == 0) continue;
-    // Frame keys are "<prefix>LL/TTTTTTTTTTTT".
-    const int layer = std::atoi(key.c_str() + prefix.size());
-    const int64_t t =
-        std::strtoll(key.c_str() + (key.size() - 12), nullptr, 10);
-    auto frame = GetFrameAt(generation, layer, t);
-    O4A_CHECK(frame.ok()) << frame.status().ToString();
-    SyncSatPlaneAt(generation, layer, t, BuildSatPlane(*frame, pool));
+  for (const Key& key : keys) {
+    const Status status =
+        TryBuildSatPlaneAt(generation, std::get<1>(key), std::get<2>(key),
+                           pool);
+    O4A_CHECK(status.ok()) << status.ToString();
     ++built;
   }
   return built;
@@ -218,61 +262,83 @@ bool PredictionStore::HasFrame(int layer, int64_t t) const {
 
 bool PredictionStore::HasFrameAt(int64_t generation, int layer,
                                  int64_t t) const {
-  return store_->Contains(FrameKeyAt(generation, layer, t));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(Key{generation, layer, t});
+  return it != entries_.end() && it->second.frame != nullptr;
 }
 
 int64_t PredictionStore::CopyGeneration(int64_t from, int64_t to,
                                         int64_t min_t) {
   O4A_CHECK(from != to);
-  const std::string from_prefix = GenerationPrefix(from);
-  const std::string to_prefix = GenerationPrefix(to);
-  int64_t copied = 0;
-  for (const auto& [key, blob] : store_->ScanPrefix(from_prefix)) {
-    if (min_t != INT64_MIN) {
-      // FrameKeyAt keys end in the zero-padded 12-digit timestep.
-      const int64_t t =
-          std::strtoll(key.c_str() + (key.size() - 12), nullptr, 10);
-      if (t < min_t) continue;
+  // Snapshot, then insert: iterating and mutating the same map under one
+  // lock would invalidate nothing (std::map), but two passes keep the
+  // exclusive section minimal.
+  std::vector<std::pair<Key, Entry>> copies;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (auto it = entries_.lower_bound(Key{from, INT_MIN, INT64_MIN});
+         it != entries_.end() && std::get<0>(it->first) == from; ++it) {
+      if (std::get<2>(it->first) < min_t) continue;
+      copies.emplace_back(
+          Key{to, std::get<1>(it->first), std::get<2>(it->first)},
+          it->second);
     }
-    store_->Put(to_prefix + key.substr(from_prefix.size()), blob);
-    ++copied;
+  }
+  int64_t copied = 0;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [key, entry] : copies) {
+    copied += 1 + (entry.plane != nullptr ? 1 : 0);
+    entries_[key] = std::move(entry);
   }
   return copied;
 }
 
 int64_t PredictionStore::DropGeneration(int64_t generation) {
-  return static_cast<int64_t>(
-      store_->DeletePrefix(GenerationPrefix(generation)));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto begin = entries_.lower_bound(Key{generation, INT_MIN, INT64_MIN});
+  auto end = begin;
+  int64_t dropped = 0;
+  while (end != entries_.end() && std::get<0>(end->first) == generation) {
+    dropped += 1 + (end->second.plane != nullptr ? 1 : 0);
+    ++end;
+  }
+  entries_.erase(begin, end);
+  return dropped;
 }
 
 int64_t PredictionStore::DropFramesBelow(int64_t generation, int64_t min_t) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   int64_t dropped = 0;
-  for (const std::string& key :
-       store_->KeysWithPrefix(GenerationPrefix(generation))) {
-    // FrameKeyAt keys end in the zero-padded 12-digit timestep.
-    const int64_t t =
-        std::strtoll(key.c_str() + (key.size() - 12), nullptr, 10);
-    if (t < min_t && store_->Delete(key).ok()) ++dropped;
+  auto it = entries_.lower_bound(Key{generation, INT_MIN, INT64_MIN});
+  while (it != entries_.end() && std::get<0>(it->first) == generation) {
+    if (std::get<2>(it->first) < min_t) {
+      dropped += 1 + (it->second.plane != nullptr ? 1 : 0);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
   }
   return dropped;
 }
 
 int64_t PredictionStore::NumFramesAt(int64_t generation) const {
-  // Planes share the generation prefix (so reclamation drops them with
-  // their frames) but are derived data, not frames. One scan, not two
-  // counts — a difference of independently-locked counts could go
-  // negative under a concurrent staging writer.
-  const std::string prefix = GenerationPrefix(generation);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   int64_t frames = 0;
-  for (const std::string& key : store_->KeysWithPrefix(prefix)) {
-    if (key.compare(prefix.size(), 4, "sat/") != 0) ++frames;
+  for (auto it = entries_.lower_bound(Key{generation, INT_MIN, INT64_MIN});
+       it != entries_.end() && std::get<0>(it->first) == generation; ++it) {
+    if (it->second.frame != nullptr) ++frames;
   }
   return frames;
 }
 
 int64_t PredictionStore::NumSatPlanesAt(int64_t generation) const {
-  return static_cast<int64_t>(
-      store_->CountPrefix(SatPlanePrefix(generation)));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  int64_t planes = 0;
+  for (auto it = entries_.lower_bound(Key{generation, INT_MIN, INT64_MIN});
+       it != entries_.end() && std::get<0>(it->first) == generation; ++it) {
+    if (it->second.plane != nullptr) ++planes;
+  }
+  return planes;
 }
 
 }  // namespace one4all

@@ -1,45 +1,65 @@
 // Online prediction storage: the deployed model continuously synchronizes
-// multi-scale prediction frames into the KV store (paper Sec. III "online
-// phase"); the query server reads single grid values back by key.
+// multi-scale prediction frames into the store (paper Sec. III "online
+// phase"); the query server reads grid values and summed-area planes back
+// by (generation, layer, t).
 //
-// Frames are keyed by (generation, layer, t). Generations are the MVCC
-// substrate of the serving runtime (src/serve/epoch_manager.h): a writer
-// stages the full frame set of the next epoch under an unpublished shadow
-// generation while readers keep serving from the published one, so no
-// reader ever observes a half-synced timestep. Generation 0 is the
-// "static" generation the offline harness (MauPipeline) writes to; every
-// pre-existing call site keeps working unchanged against it.
+// Generations are the MVCC substrate of the serving runtime
+// (src/serve/epoch_manager.h): a writer stages the full frame set of the
+// next epoch under an unpublished shadow generation while readers keep
+// serving from the published one, so no reader ever observes a
+// half-synced timestep. Generation 0 is the "static" generation the
+// offline harness (MauPipeline) writes to; every pre-existing call site
+// keeps working unchanged against it.
 //
-// Each frame may carry a derived summed-area plane (tensor/prefix_sum.h)
-// under the same generation prefix, so the query layer's SAT fast path
-// answers rect sums in four reads. Plane keys live *inside* the
-// generation namespace on purpose: carry-forward copies and epoch
-// reclamation treat a plane exactly like its frame, which is what keeps a
-// pinned epoch's planes alive precisely as long as its frames.
+// Storage is tiled and copy-on-write (tensor/tiled_sat.h): a frame and
+// its two-level summed-area plane live as shared tile blocks, so
+//   - CopyGeneration (the epoch carry-forward) copies shared_ptrs, not
+//     cell data — O(window) pointer aliasing per epoch;
+//   - the delta staging path (TrySyncFrameDeltaAt +
+//     TryBuildSatPlaneDeltaAt) copies only the tiles a dirty set marks,
+//     aliasing every clean tile from the base timestep's entry — staging
+//     a 5%-churn epoch copies ~5% of the data;
+//   - reclamation (DropGeneration) is a map erase: a tile block is freed
+//     when the last generation referencing it drops, which keeps a
+//     pinned epoch's data alive precisely as long as its pins.
+// Planes live *inside* the generation entry on purpose: carry-forward
+// and reclamation treat a plane exactly like its frame.
 #ifndef ONE4ALL_KVSTORE_PREDICTION_STORE_H_
 #define ONE4ALL_KVSTORE_PREDICTION_STORE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
-#include <string>
+#include <shared_mutex>
+#include <tuple>
 
 #include "core/status.h"
-#include "kvstore/kvstore.h"
 #include "tensor/prefix_sum.h"
 #include "tensor/tensor.h"
+#include "tensor/tiled_sat.h"
 
 namespace one4all {
 
 class ThreadPool;
 
-/// \brief Typed facade over KvStore for per-layer prediction frames.
+/// \brief Generation-keyed tiled CoW store of per-layer prediction
+/// frames and their summed-area planes.
 class PredictionStore {
  public:
-  explicit PredictionStore(KvStore* store) : store_(store) {}
+  PredictionStore() = default;
 
   PredictionStore(const PredictionStore&) = delete;
   PredictionStore& operator=(const PredictionStore&) = delete;
+
+  /// \brief Tile accounting of one delta-staged frame/plane, fed into
+  /// the stage_dirty_tiles / cow_shared_tiles telemetry counters.
+  struct StageStats {
+    int64_t frame_tiles_total = 0;
+    int64_t frame_tiles_shared = 0;  ///< aliased from the base frame
+    int64_t plane_tiles_reused = 0;  ///< locals aliased from the base plane
+  };
 
   /// \brief Writes the prediction frame [Hl, Wl] of (layer, t) into
   /// generation 0.
@@ -56,13 +76,41 @@ class PredictionStore {
   /// while SetWriteFault is active (the store-refuses-writes seam the
   /// scenario harness drives), OK and the write otherwise. The epoch
   /// staging path routes through this so an unwritable store surfaces
-  /// as an aborted epoch, never a crash or a torn publish.
+  /// as an aborted epoch, never a crash or a torn publish. Every tile
+  /// is copied fresh; the frame's dirty set is recorded as unknown.
   Status TrySyncFrameAt(int64_t generation, int layer, int64_t t,
                         const Tensor& frame);
+
+  /// \brief Copy-on-write frame write: tiles marked in `dirty` are
+  /// copied from `frame`; clean tiles alias the blocks of the base
+  /// entry (generation, layer, base_t) — the previous timestep the
+  /// ingestor diffed `frame` against. Falls back to a full fresh write
+  /// when the base is missing, geometry differs, or `dirty` is unknown
+  /// (empty). Records `dirty` with the entry so downstream consumers
+  /// (band slicing, incremental top-k) can reuse it.
+  Status TrySyncFrameDeltaAt(int64_t generation, int layer, int64_t t,
+                             const Tensor& frame, int64_t base_t,
+                             const TileDirtySet& dirty,
+                             StageStats* stats = nullptr);
 
   /// \brief Reads a full frame back from generation 0.
   Result<Tensor> GetFrame(int layer, int64_t t) const;
   Result<Tensor> GetFrameAt(int64_t generation, int layer, int64_t t) const;
+
+  /// \brief Zero-copy tiled reads for the hot query path: a shared_ptr
+  /// fetch under a shared lock, no materialization. The returned object
+  /// outlives any concurrent reclamation of its generation.
+  Result<std::shared_ptr<const TiledFrame>> GetTiledFrameAt(
+      int64_t generation, int layer, int64_t t) const;
+  Result<std::shared_ptr<const TiledSatPlane>> GetTiledSatPlaneAt(
+      int64_t generation, int layer, int64_t t) const;
+
+  /// \brief The dirty set recorded when (generation, layer, t) was
+  /// delta-staged (tiles changed vs. its predecessor timestep), or null
+  /// when the frame is missing or was staged without one — callers must
+  /// then assume everything changed.
+  std::shared_ptr<const TileDirtySet> GetDirtyAt(int64_t generation,
+                                                 int layer, int64_t t) const;
 
   /// \brief Point read of one grid's predicted value. Dies if the frame
   /// was never synced — only for offline harness code whose frames are
@@ -80,21 +128,29 @@ class PredictionStore {
   bool HasFrame(int layer, int64_t t) const;
   bool HasFrameAt(int64_t generation, int layer, int64_t t) const;
 
-  /// \brief Writes the summed-area plane of (generation, layer, t).
-  /// Epoch writers stage a frame's plane right after the frame itself,
-  /// into the same (still unpublished) generation. Dies under an
-  /// injected write fault; see TrySyncSatPlaneAt.
-  void SyncSatPlaneAt(int64_t generation, int layer, int64_t t,
-                      const SatPlane& plane);
+  /// \brief Builds and stores the two-level summed-area plane of the
+  /// already-synced frame (generation, layer, t), every tile fresh.
+  /// NotFound when the frame is missing; returns the injected fault
+  /// Status while SetWriteFault is active (a plane build is a write).
+  Status TryBuildSatPlaneAt(int64_t generation, int layer, int64_t t,
+                            ThreadPool* pool = nullptr);
 
-  /// \brief Non-fatal plane write; same fault contract as
-  /// TrySyncFrameAt.
-  Status TrySyncSatPlaneAt(int64_t generation, int layer, int64_t t,
-                           const SatPlane& plane);
+  /// \brief Incremental plane build: dirty tiles (the set recorded by
+  /// TrySyncFrameDeltaAt) rebuild their local prefixes; clean tiles
+  /// alias the base plane of (generation, layer, base_t); the coarse
+  /// carries are recomputed in one deterministic fixup sweep — the
+  /// result is bit-identical to TryBuildSatPlaneAt of the same frame.
+  /// Falls back to a full build when the base plane is missing or the
+  /// dirty set is unknown.
+  Status TryBuildSatPlaneDeltaAt(int64_t generation, int layer, int64_t t,
+                                 int64_t base_t, ThreadPool* pool = nullptr,
+                                 StageStats* stats = nullptr);
 
-  /// \brief Reads a summed-area plane back; NotFound when the frame was
-  /// synced without one (the query layer then falls back to summing the
-  /// frame directly).
+  /// \brief Materialized monolithic plane, bit-identical to
+  /// BuildSatPlane of the stored frame (legacy readers and parity
+  /// tests; the query fast path reads GetTiledSatPlaneAt instead).
+  /// NotFound when the frame was synced without a plane — the query
+  /// layer then falls back to summing the frame directly.
   Result<SatPlane> GetSatPlaneAt(int64_t generation, int layer,
                                  int64_t t) const;
 
@@ -106,20 +162,22 @@ class PredictionStore {
   int64_t BuildSatPlanes(int64_t generation, ThreadPool* pool = nullptr);
 
   /// \brief Copies frames of `from` with t >= `min_t` into generation
-  /// `to` (raw blob copy, no decode). The epoch manager's carry-forward:
-  /// the shadow generation starts as a snapshot of the published one,
-  /// optionally truncated to a retention horizon so continuous runs keep
-  /// per-epoch copy cost bounded. Returns the number of frames copied.
+  /// `to` — shared_ptr aliasing of every tile block, no cell data moves.
+  /// The epoch manager's carry-forward: the shadow generation starts as
+  /// a snapshot of the published one, optionally truncated to a
+  /// retention horizon so continuous runs keep per-epoch cost bounded.
+  /// Returns the number of frames plus planes copied.
   int64_t CopyGeneration(int64_t from, int64_t to,
                          int64_t min_t = INT64_MIN);
 
   /// \brief Deletes every frame of a generation (epoch reclamation once
-  /// the last reader unpins it). Returns the number of frames dropped.
+  /// the last reader unpins it); tile blocks free when their last
+  /// referencing generation drops. Returns frames plus planes dropped.
   int64_t DropGeneration(int64_t generation);
 
   /// \brief Deletes a generation's frames with t < `min_t` (retention
-  /// trim of a still-unpublished shadow generation). Returns the number
-  /// of frames dropped.
+  /// trim of a still-unpublished shadow generation). Returns frames
+  /// plus planes dropped.
   int64_t DropFramesBelow(int64_t generation, int64_t min_t);
 
   /// \brief Number of frames stored under a generation (summed-area
@@ -129,24 +187,11 @@ class PredictionStore {
   /// \brief Number of summed-area planes stored under a generation.
   int64_t NumSatPlanesAt(int64_t generation) const;
 
-  /// \brief Key of (generation 0, layer, t).
-  static std::string FrameKey(int layer, int64_t t);
-  static std::string FrameKeyAt(int64_t generation, int layer, int64_t t);
-  /// \brief Key of the summed-area plane of (generation, layer, t);
-  /// sorts inside the generation prefix so CopyGeneration /
-  /// DropGeneration / DropFramesBelow handle planes alongside frames.
-  static std::string SatPlaneKeyAt(int64_t generation, int layer,
-                                   int64_t t);
-  /// \brief Prefix covering every key of one generation.
-  static std::string GenerationPrefix(int64_t generation);
-  /// \brief Prefix covering every summed-area plane of one generation.
-  static std::string SatPlanePrefix(int64_t generation);
-
-  /// \brief Injects a write fault: every TrySync* call returns `fault`
-  /// (and every fatal Sync* dies) until ClearWriteFault. `fault` must be
-  /// an error. Models a store that stopped accepting writes (full disk,
-  /// lost quorum); reads are deliberately unaffected — the published
-  /// epoch keeps serving while the writer absorbs failures.
+  /// \brief Injects a write fault: every TrySync*/TryBuild* call returns
+  /// `fault` (and every fatal Sync* dies) until ClearWriteFault. `fault`
+  /// must be an error. Models a store that stopped accepting writes
+  /// (full disk, lost quorum); reads are deliberately unaffected — the
+  /// published epoch keeps serving while the writer absorbs failures.
   void SetWriteFault(Status fault);
   void ClearWriteFault();
   bool write_fault_active() const {
@@ -154,10 +199,25 @@ class PredictionStore {
   }
 
  private:
+  /// \brief One stored (generation, layer, t): tiled CoW frame, its
+  /// optional tiled plane, and the dirty set it was staged with (null
+  /// when unknown).
+  struct Entry {
+    std::shared_ptr<const TiledFrame> frame;
+    std::shared_ptr<const TiledSatPlane> plane;
+    std::shared_ptr<const TileDirtySet> dirty;
+  };
+  using Key = std::tuple<int64_t, int, int64_t>;  // (generation, layer, t)
+
   /// \brief The injected fault Status, or OK when writes are healthy.
   Status WriteFault() const;
 
-  KvStore* store_;
+  /// \brief Copies one entry's shared_ptrs under the shared lock; false
+  /// when absent.
+  bool SnapshotEntry(const Key& key, Entry* out) const;
+
+  mutable std::shared_mutex mu_;
+  std::map<Key, Entry> entries_;
 
   // Write-fault seam: flag checked on the hot path (one relaxed load),
   // Status only locked when a fault is actually set or read.

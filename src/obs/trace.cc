@@ -22,6 +22,7 @@ const char* SpanNameString(SpanName name) {
     case SpanName::kShardScatter: return "shard_scatter";
     case SpanName::kShardGather: return "shard_gather";
     case SpanName::kBarrierWait: return "barrier_wait";
+    case SpanName::kTileSatFixup: return "tile_sat_fixup";
   }
   return "unknown";
 }

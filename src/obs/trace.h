@@ -38,8 +38,9 @@ enum class SpanName : uint8_t {
   kShardScatter = 15,  ///< per-shard term evaluation fan-out (arg: #terms)
   kShardGather = 16,   ///< cross-shard merge + canonical fold (arg: #rows)
   kBarrierWait = 17,   ///< cross-shard epoch pin, incl. seqlock retries
+  kTileSatFixup = 18,  ///< incremental tiled-SAT rebuild (arg: dirty tiles)
 };
-constexpr int kNumSpanNames = 18;
+constexpr int kNumSpanNames = 19;
 
 const char* SpanNameString(SpanName name);
 

@@ -8,6 +8,7 @@
 #include "query/frame_memo.h"
 #include "query/resolved_query_cache.h"
 #include "tensor/prefix_sum.h"
+#include "tensor/tiled_sat.h"
 
 namespace one4all {
 
@@ -122,13 +123,14 @@ struct FrameTableEntry {
   /// Raw frame cells (null when the frame is missing; `error` says why).
   const float* frame_data = nullptr;
   int64_t frame_width = 0;
-  /// The summed-area plane (null: not published for this generation —
-  /// rect reads then fall back to direct sums over `frame_data`).
-  const SatPlane* plane = nullptr;
+  /// The tiled summed-area plane, shared straight out of the store
+  /// (an O(1) refcount bump, not a blob decode — the epoch pin keeps it
+  /// alive). Null: not published for this generation — rect reads then
+  /// fall back to direct sums over `frame_data`.
+  std::shared_ptr<const TiledSatPlane> plane;
   Status error;  ///< frame fetch failure (typically NotFound)
 
-  Tensor frame_storage;    ///< owns frame_data
-  SatPlane plane_storage;  ///< owns *plane
+  Tensor frame_storage;  ///< owns frame_data
 };
 
 bool EntryKeyLess(const FrameTableEntry& e, std::pair<int, int64_t> key) {
@@ -305,11 +307,11 @@ QueryResult QueryExecutor::Execute(const QueryPlan& plan,
           for (int64_t i = begin; i < end; ++i) {
             FrameTableEntry& entry = table[static_cast<size_t>(i)];
             if (entry.need_plane) {
-              Result<SatPlane> plane = store->GetSatPlaneAt(
-                  options.generation, entry.layer, entry.t);
+              Result<std::shared_ptr<const TiledSatPlane>> plane =
+                  store->GetTiledSatPlaneAt(options.generation, entry.layer,
+                                            entry.t);
               if (plane.ok()) {
-                entry.plane_storage = plane.MoveValueUnsafe();
-                entry.plane = &entry.plane_storage;
+                entry.plane = plane.MoveValueUnsafe();
               } else if (plane.status().code() == StatusCode::kNotFound) {
                 // No plane published for this generation (e.g. the
                 // static offline generation before BuildSatPlanes):

@@ -1,0 +1,226 @@
+#include "query/topk_memo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace one4all {
+
+namespace {
+
+/// FNV-1a over an arbitrary byte run.
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HashValue(uint64_t v, uint64_t seed) {
+  return HashBytes(&v, sizeof(v), seed);
+}
+
+}  // namespace
+
+TopKMemo::TopKMemo(const Hierarchy* hierarchy, TopKMemoOptions options)
+    : hierarchy_(hierarchy), options_(options) {
+  O4A_CHECK(hierarchy != nullptr);
+  O4A_CHECK_GT(options_.capacity, 0u);
+  O4A_CHECK_GT(options_.history, 0u);
+}
+
+uint64_t TopKMemo::Fingerprint(const QuerySpec& spec) {
+  uint64_t h = 14695981039346656037ULL;
+  h = HashValue(static_cast<uint64_t>(spec.kind), h);
+  h = HashValue(static_cast<uint64_t>(spec.aggregation), h);
+  h = HashValue(static_cast<uint64_t>(spec.strategy), h);
+  h = HashValue(static_cast<uint64_t>(spec.eval_path), h);
+  h = HashValue(static_cast<uint64_t>(spec.top_k), h);
+  h = HashValue(spec.keep_series ? 1 : 0, h);
+  h = HashValue(spec.regions.size(), h);
+  for (const GridMask& region : spec.regions) {
+    h = HashValue(static_cast<uint64_t>(region.height()), h);
+    h = HashValue(static_cast<uint64_t>(region.width()), h);
+    h = HashBytes(region.words().data(),
+                  region.words().size() * sizeof(uint64_t), h);
+  }
+  return h;
+}
+
+bool TopKMemo::SameSpecShape(const QuerySpec& a, const QuerySpec& b) {
+  // Everything but the time selector — that is exactly the subscription
+  // pattern: same question, advancing timestep.
+  return a.kind == b.kind && a.aggregation == b.aggregation &&
+         a.strategy == b.strategy && a.eval_path == b.eval_path &&
+         a.top_k == b.top_k && a.keep_series == b.keep_series &&
+         a.regions == b.regions;
+}
+
+CellRect TopKMemo::FootprintOf(const GridMask& region) const {
+  // Atomic bounding box of the set cells...
+  int64_t r0 = region.height(), r1 = 0, c0 = region.width(), c1 = 0;
+  const std::vector<uint64_t>& words = region.words();
+  const int64_t w = region.width();
+  for (size_t wi = 0; wi < words.size(); ++wi) {
+    uint64_t word = words[wi];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      word &= word - 1;
+      const int64_t cell = static_cast<int64_t>(wi) * 64 + bit;
+      const int64_t r = cell / w, c = cell % w;
+      r0 = std::min(r0, r);
+      r1 = std::max(r1, r + 1);
+      c0 = std::min(c0, c);
+      c1 = std::max(c1, c + 1);
+    }
+  }
+  if (r1 <= r0) return CellRect{0, 0, 0, 0};  // empty region
+  // ...rounded out to the coarsest layer's grid boundaries: every union
+  // grid the planner can pick intersects the region, so its atomic
+  // extent — and that of any subtraction grid nested inside it — stays
+  // within this expansion.
+  const int64_t scale = hierarchy_->layer(hierarchy_->num_layers()).scale;
+  CellRect fp;
+  fp.r0 = (r0 / scale) * scale;
+  fp.c0 = (c0 / scale) * scale;
+  fp.r1 = std::min(((r1 + scale - 1) / scale) * scale,
+                   hierarchy_->atomic_height());
+  fp.c1 = std::min(((c1 + scale - 1) / scale) * scale,
+                   hierarchy_->atomic_width());
+  return fp;
+}
+
+bool TopKMemo::FootprintClean(const CellRect& footprint,
+                              const PublishRecord& record) const {
+  if (record.all_dirty) return false;
+  if (footprint.Area() == 0) return true;
+  for (int l = 1; l <= hierarchy_->num_layers(); ++l) {
+    if (static_cast<size_t>(l) > record.dirty.size()) return false;
+    const TileDirtySet& dirty = record.dirty[static_cast<size_t>(l) - 1];
+    const int64_t scale = hierarchy_->layer(l).scale;
+    // IntersectsRect is conservative on unknown sets, so a layer the
+    // publish carried no diff for counts as churned.
+    if (dirty.IntersectsRect(footprint.r0 / scale, footprint.c0 / scale,
+                             (footprint.r1 + scale - 1) / scale,
+                             (footprint.c1 + scale - 1) / scale)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TopKMemo::OnPublish(int64_t t, const DirtyTileSets* dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PublishRecord record;
+  record.t = t;
+  if (dirty == nullptr) {
+    record.all_dirty = true;
+  } else {
+    record.dirty = *dirty;  // per-layer bitsets: a few bytes per layer
+  }
+  publishes_.push_back(std::move(record));
+  while (publishes_.size() > options_.history) publishes_.pop_front();
+}
+
+void TopKMemo::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  publishes_.clear();
+}
+
+TopKMemo::Probe TopKMemo::Lookup(const QuerySpec& spec) {
+  Probe probe;
+  if (spec.kind != QuerySpecKind::kTopK || !spec.time.IsPoint()) {
+    return probe;
+  }
+  const uint64_t fp = Fingerprint(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.begin();
+  for (; it != entries_.end(); ++it) {
+    if (it->fingerprint == fp && SameSpecShape(it->spec, spec)) break;
+  }
+  if (it == entries_.end()) return probe;
+  entries_.splice(entries_.begin(), entries_, it);  // LRU touch
+  const Entry& entry = entries_.front();
+
+  const int64_t t = spec.time.t0;
+  if (t < entry.t) return probe;  // looking backwards: no reuse claim
+
+  // Publishes strictly inside (entry.t, t], oldest first. The proof
+  // needs every one of them: a gap (history evicted, or the writer
+  // skipped timesteps) means unseen churn, so nothing can be reused.
+  std::vector<const PublishRecord*> since;
+  for (const PublishRecord& record : publishes_) {
+    if (record.t > entry.t && record.t <= t) since.push_back(&record);
+  }
+  if (static_cast<int64_t>(since.size()) != t - entry.t) return probe;
+
+  probe.hit = true;
+  probe.memo_t = entry.t;
+  probe.rows = entry.rows;
+  probe.clean.assign(entry.rows.size(), true);
+  for (size_t i = 0; i < entry.footprints.size(); ++i) {
+    for (const PublishRecord* record : since) {
+      if (!FootprintClean(entry.footprints[i], *record)) {
+        probe.clean[i] = false;
+        break;
+      }
+    }
+  }
+  return probe;
+}
+
+void TopKMemo::Store(const QuerySpec& spec,
+                     const std::vector<Result<QueryRow>>& rows) {
+  if (spec.kind != QuerySpecKind::kTopK || !spec.time.IsPoint()) return;
+  if (rows.size() != spec.regions.size()) return;
+  const uint64_t fp = Fingerprint(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->fingerprint == fp && SameSpecShape(it->spec, spec)) {
+      it->t = spec.time.t0;
+      it->rows = rows;
+      entries_.splice(entries_.begin(), entries_, it);
+      return;
+    }
+  }
+  Entry entry;
+  entry.fingerprint = fp;
+  entry.spec = spec;
+  entry.t = spec.time.t0;
+  entry.rows = rows;
+  entry.footprints.reserve(spec.regions.size());
+  for (const GridMask& region : spec.regions) {
+    entry.footprints.push_back(FootprintOf(region));
+  }
+  entries_.push_front(std::move(entry));
+  while (entries_.size() > options_.capacity) entries_.pop_back();
+}
+
+std::vector<int> TopKMemo::RankRows(const std::vector<Result<QueryRow>>& rows,
+                                    int k) {
+  // Mirrors query_internal::RankTopK exactly: value descending, ties
+  // toward the lower row index, failed rows skipped, clamped to k.
+  std::vector<int> order;
+  order.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].ok()) order.push_back(static_cast<int>(i));
+  }
+  const size_t kept = std::min(order.size(), static_cast<size_t>(k));
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<int64_t>(kept), order.end(),
+                    [&](int a, int b) {
+                      const double va = rows[static_cast<size_t>(a)]->value;
+                      const double vb = rows[static_cast<size_t>(b)]->value;
+                      if (va != vb) return va > vb;
+                      return a < b;
+                    });
+  order.resize(kept);
+  return order;
+}
+
+}  // namespace one4all

@@ -49,6 +49,33 @@ Result<World> BuildWorld(const ScenarioSpec& spec) {
   O4A_ASSIGN_OR_RETURN(SyntheticFlows flows,
                        GenerateSyntheticFlows(data_options));
 
+  if (spec.ingest.churn_fraction < 1.0) {
+    // Low-churn stream: each frame keeps the previous frame's values
+    // outside a rotating row band covering ~churn_fraction of the grid.
+    // The ingestor's tile diff then marks only the band's tiles dirty,
+    // which drives epoch publication through the incremental (CoW)
+    // staging path instead of full-frame rebuilds. Damping t in
+    // ascending order makes stillness persistent: a row stays at its
+    // last in-band value until the band sweeps over it again.
+    const int64_t h = spec.grid.size;
+    const int64_t band = std::max<int64_t>(
+        1, std::llround(spec.ingest.churn_fraction *
+                        static_cast<double>(h)));
+    for (size_t t = 1; t < flows.frames.size(); ++t) {
+      const int64_t r0 =
+          (static_cast<int64_t>(t) * band) % std::max<int64_t>(1, h);
+      const Tensor& prev = flows.frames[t - 1];
+      Tensor& cur = flows.frames[t];
+      const int64_t w = cur.dim(1);
+      for (int64_t r = 0; r < h; ++r) {
+        const bool in_band = ((r - r0 + h) % h) < band;
+        if (in_band) continue;
+        std::copy(prev.data() + r * w, prev.data() + (r + 1) * w,
+                  cur.data() + r * w);
+      }
+    }
+  }
+
   // Short temporal spec (MinHistory = 8) so scenario worlds stay cheap:
   // the harness is about serving behavior, not forecast horizons.
   TemporalFeatureSpec temporal;

@@ -195,6 +195,8 @@ Status ParseIngest(const JsonValue& v, ScenarioIngest* out) {
   O4A_RETURN_NOT_OK(reader.GetInt("steps", &out->steps, 1, 100000));
   O4A_RETURN_NOT_OK(reader.GetInt("publish_every_ticks",
                                   &out->publish_every_ticks, 1, 100000));
+  O4A_RETURN_NOT_OK(reader.GetDouble("churn_fraction",
+                                     &out->churn_fraction, 1e-6, 1.0));
   return reader.RejectUnknownKeys();
 }
 

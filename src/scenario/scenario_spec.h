@@ -47,6 +47,13 @@ struct ScenarioIngest {
   /// Publish one timestep every N virtual ticks (the churn rate: 1 is
   /// churn-heavy, large values serve a nearly-static window).
   int64_t publish_every_ticks = 8;
+  /// Fraction of the grid's rows that actually change between published
+  /// timesteps, in (0, 1]. Below 1, each synthetic frame keeps the
+  /// previous frame's values outside a rotating row band, so the
+  /// ingestor's tile diff yields small dirty sets and epochs publish
+  /// through the incremental (CoW) staging path. 1 (the default) leaves
+  /// the generated flows untouched.
+  double churn_fraction = 1.0;
 };
 
 /// \brief One flash-crowd window: arrival rate multiplied inside

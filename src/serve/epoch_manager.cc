@@ -49,24 +49,44 @@ void FrameEpochManager::Staging::AbortSelf() {
 }
 
 void FrameEpochManager::Staging::StageFrame(int layer, int64_t t,
-                                            const Tensor& frame) {
-  const Status status = TryStageFrame(layer, t, frame);
+                                            const Tensor& frame,
+                                            const TileDirtySet* dirty) {
+  const Status status = TryStageFrame(layer, t, frame, dirty);
   O4A_CHECK(status.ok()) << "epoch staging failed: " << status.ToString();
 }
 
 Status FrameEpochManager::Staging::TryStageFrame(int layer, int64_t t,
-                                                 const Tensor& frame) {
+                                                 const Tensor& frame,
+                                                 const TileDirtySet* dirty) {
   O4A_CHECK(valid());
-  O4A_RETURN_NOT_OK(
-      manager_->store_->TrySyncFrameAt(generation_, layer, t, frame));
+  const bool delta = dirty != nullptr && !dirty->empty();
+  PredictionStore::StageStats stats;
+  if (delta) {
+    // Copy-on-write against the carried-forward previous timestep:
+    // clean tiles alias (generation, layer, t-1)'s blocks. The store
+    // falls back to a full fresh write when that base is absent.
+    O4A_RETURN_NOT_OK(manager_->store_->TrySyncFrameDeltaAt(
+        generation_, layer, t, frame, t - 1, *dirty, &stats));
+  } else {
+    O4A_RETURN_NOT_OK(
+        manager_->store_->TrySyncFrameAt(generation_, layer, t, frame));
+  }
   if (manager_->options_.build_sat_planes) {
     // Derived into the same still-unpublished shadow generation, so no
     // reader can observe the plane before its epoch publishes. A refusal
     // here leaves the frame without its plane — fine, because the only
     // recovery is aborting the staging, which drops both.
-    ScopedSpan sat_span(trace_ctx_, SpanName::kBuildSatPlane, layer);
-    O4A_RETURN_NOT_OK(manager_->store_->TrySyncSatPlaneAt(
-        generation_, layer, t, BuildSatPlane(frame)));
+    if (delta) {
+      ScopedSpan sat_span(trace_ctx_, SpanName::kTileSatFixup,
+                          stats.frame_tiles_total -
+                              stats.frame_tiles_shared);
+      O4A_RETURN_NOT_OK(manager_->store_->TryBuildSatPlaneDeltaAt(
+          generation_, layer, t, t - 1, /*pool=*/nullptr, &stats));
+    } else {
+      ScopedSpan sat_span(trace_ctx_, SpanName::kBuildSatPlane, layer);
+      O4A_RETURN_NOT_OK(
+          manager_->store_->TryBuildSatPlaneAt(generation_, layer, t));
+    }
     if (manager_->telemetry_ != nullptr) {
       manager_->telemetry_->sat_planes_built.fetch_add(
           1, std::memory_order_relaxed);
@@ -76,6 +96,14 @@ Status FrameEpochManager::Staging::TryStageFrame(int layer, int64_t t,
   if (manager_->telemetry_ != nullptr) {
     manager_->telemetry_->frames_staged.fetch_add(
         1, std::memory_order_relaxed);
+    if (delta) {
+      manager_->telemetry_->stage_dirty_tiles.fetch_add(
+          stats.frame_tiles_total - stats.frame_tiles_shared,
+          std::memory_order_relaxed);
+      manager_->telemetry_->cow_shared_tiles.fetch_add(
+          stats.frame_tiles_shared + stats.plane_tiles_reused,
+          std::memory_order_relaxed);
+    }
   }
   return Status::OK();
 }
@@ -167,6 +195,7 @@ void FrameEpochManager::Publish(Staging&& staging) {
 
 Status FrameEpochManager::StageAndPublish(int64_t t,
                                           const std::vector<Tensor>& frames,
+                                          const DirtyTileSets* dirty,
                                           bool carry_forward,
                                           TraceContext* trace) {
   Staging staging = BeginEpoch(carry_forward);
@@ -176,7 +205,10 @@ Status FrameEpochManager::StageAndPublish(int64_t t,
     ScopedSpan stage_span(trace, SpanName::kStageFrames,
                           static_cast<int64_t>(frames.size()));
     for (size_t i = 0; i < frames.size() && status.ok(); ++i) {
-      status = staging.TryStageFrame(static_cast<int>(i) + 1, t, frames[i]);
+      const TileDirtySet* layer_dirty =
+          dirty != nullptr && i < dirty->size() ? &(*dirty)[i] : nullptr;
+      status = staging.TryStageFrame(static_cast<int>(i) + 1, t, frames[i],
+                                     layer_dirty);
     }
   }
   if (status.ok()) {

@@ -127,14 +127,23 @@ class FrameEpochManager : public EpochSink {
 
     /// \brief Writes one frame into the shadow generation. Dies if the
     /// store refuses the write; fault-tolerant writers use TryStageFrame.
-    void StageFrame(int layer, int64_t t, const Tensor& frame);
+    void StageFrame(int layer, int64_t t, const Tensor& frame,
+                    const TileDirtySet* dirty = nullptr);
 
     /// \brief Non-fatal staging: surfaces a store write refusal as its
     /// Status instead of dying. On failure the shadow generation may
     /// hold a partial frame set — the caller must Abort (or drop) the
     /// staging, which deletes everything staged so far; since the
     /// generation was never published, no reader can have observed it.
-    Status TryStageFrame(int layer, int64_t t, const Tensor& frame);
+    ///
+    /// `dirty` (nullable) is the tile set of `frame` changed vs. the
+    /// timestep t-1 already in this generation (the carried-forward
+    /// previous publish): when given, the frame is staged copy-on-write
+    /// and its SAT plane rebuilt incrementally (dirty tiles + carry
+    /// fixup) — bit-identical to a full stage, at the dirty fraction of
+    /// the cost. Null or unknown stages everything fresh.
+    Status TryStageFrame(int layer, int64_t t, const Tensor& frame,
+                         const TileDirtySet* dirty = nullptr);
 
     /// \brief Attaches the publish attempt's trace context so staged
     /// SAT-plane builds record kBuildSatPlane child spans. The context
@@ -174,11 +183,14 @@ class FrameEpochManager : public EpochSink {
   void Abort(Staging&& staging);
 
   /// \brief EpochSink: BeginEpoch + stage every layer frame (with
-  /// kStageFrames/kPublish spans under `trace`) + Publish; a store write
-  /// refusal aborts the whole staging and is returned as the retryable
-  /// Status the ingest loop absorbs.
+  /// kStageFrames/kPublish spans under `trace`, delta-staged per layer
+  /// when `dirty` is given) + Publish; a store write refusal aborts the
+  /// whole staging and is returned as the retryable Status the ingest
+  /// loop absorbs.
   Status StageAndPublish(int64_t t, const std::vector<Tensor>& frames,
-                         bool carry_forward, TraceContext* trace) override;
+                         const DirtyTileSets* dirty, bool carry_forward,
+                         TraceContext* trace) override;
+  using EpochSink::StageAndPublish;
 
   /// \brief Pins the currently published epoch.
   EpochGuard Pin();

@@ -11,6 +11,7 @@
 
 #include "core/status.h"
 #include "tensor/tensor.h"
+#include "tensor/tiled_sat.h"
 
 namespace one4all {
 
@@ -28,10 +29,26 @@ class EpochSink {
   /// re-calling with the same `t` is safe. `trace` (nullable) is the
   /// enclosing publish attempt's context; implementations nest their
   /// stage/publish spans under it.
+  ///
+  /// `dirty` (nullable) carries the ingestor's per-layer dirty-tile sets
+  /// of `t` vs. the previously published timestep, indexed [layer-1]
+  /// like `frames`: implementations use it to stage copy-on-write deltas
+  /// (clean tiles alias the prior timestep's buffers, dirty tiles copy)
+  /// instead of full frames. Null — or an empty/unknown per-layer entry
+  /// — means "assume everything changed"; the published values are
+  /// identical either way, only staging cost differs.
   virtual Status StageAndPublish(int64_t t,
                                  const std::vector<Tensor>& frames,
+                                 const DirtyTileSets* dirty,
                                  bool carry_forward,
                                  TraceContext* trace) = 0;
+
+  /// \brief Convenience for pre-dirty-tracking callers: stage everything
+  /// fresh.
+  Status StageAndPublish(int64_t t, const std::vector<Tensor>& frames,
+                         bool carry_forward, TraceContext* trace) {
+    return StageAndPublish(t, frames, nullptr, carry_forward, trace);
+  }
 };
 
 }  // namespace one4all

@@ -4,10 +4,39 @@
 #include <utility>
 
 #include "core/logging.h"
+#include "core/stopwatch.h"
 #include "query/query_planner.h"
 #include "shard/shard_executor.h"
 
 namespace one4all {
+
+namespace {
+
+/// The publish seam between the ingestor and the real epoch substrate:
+/// forwards untouched, then — only after a successful publish — hands
+/// the epoch's dirty sets to the top-k memo so subscription re-ranks
+/// know which footprints the epoch could have moved.
+class MemoTapSink : public EpochSink {
+ public:
+  MemoTapSink(EpochSink* inner, TopKMemo* memo)
+      : inner_(inner), memo_(memo) {}
+
+  Status StageAndPublish(int64_t t, const std::vector<Tensor>& frames,
+                         const DirtyTileSets* dirty, bool carry_forward,
+                         TraceContext* trace) override {
+    Status status =
+        inner_->StageAndPublish(t, frames, dirty, carry_forward, trace);
+    if (status.ok()) memo_->OnPublish(t, dirty);
+    return status;
+  }
+  using EpochSink::StageAndPublish;
+
+ private:
+  EpochSink* inner_;
+  TopKMemo* memo_;
+};
+
+}  // namespace
 
 ServingRuntime::ServingRuntime(const Hierarchy* hierarchy,
                                const ExtendedQuadTree* index,
@@ -19,11 +48,11 @@ ServingRuntime::ServingRuntime(const Hierarchy* hierarchy,
       options_(options),
       trace_(options.trace != nullptr ? options.trace
                                       : &TraceRecorder::Global()),
-      store_(&kv_),
       epochs_(&store_, &telemetry_,
               FrameEpochManagerOptions{-1, options.retain_timesteps,
                                        options.build_sat_planes, trace_}),
-      cache_(options.cache) {
+      cache_(options.cache),
+      topk_memo_(hierarchy) {
   O4A_CHECK(hierarchy != nullptr);
   O4A_CHECK(index != nullptr);
   O4A_CHECK(dataset != nullptr);
@@ -48,8 +77,10 @@ ServingRuntime::ServingRuntime(const Hierarchy* hierarchy,
   EpochSink* sink = shards_ != nullptr
                         ? static_cast<EpochSink*>(shards_.get())
                         : static_cast<EpochSink*>(&epochs_);
-  ingestor_ = std::make_unique<StreamIngestor>(
-      dataset, std::move(inference), sink, &telemetry_, ingest_options);
+  publish_tap_ = std::make_unique<MemoTapSink>(sink, &topk_memo_);
+  ingestor_ = std::make_unique<StreamIngestor>(dataset, std::move(inference),
+                                               publish_tap_.get(),
+                                               &telemetry_, ingest_options);
 }
 
 ServingRuntime::~ServingRuntime() { Stop(); }
@@ -156,21 +187,87 @@ Result<QueryResult> ServingRuntime::ExecuteSpec(QuerySpec spec) {
   O4A_RETURN_NOT_OK(spec.Validate(*hierarchy_));
   const int64_t num_rows = static_cast<int64_t>(spec.regions.size());
   const int64_t steps = spec.time.num_steps();
+  const QuerySpecKind kind = spec.kind;
   TraceContext trace_ctx = trace_->StartTrace(SpanCategory::kQuery);
   ScopedSpan query_span(&trace_ctx, SpanName::kQuery, num_rows);
+
+  // Incremental top-k: a point top-k re-issued at a later timestep
+  // (the subscription pattern) probes the memo, which proves per row
+  // whether any publish since the memoized evaluation touched its term
+  // footprint. Clean rows carry their value over; only churned rows are
+  // re-gathered (as a multi-region sub-spec), and the ranking is
+  // re-sorted over the merged set. Unsharded only for now — the
+  // sharded barrier does not feed the memo (see ROADMAP).
+  const bool memo_eligible = shards_ == nullptr &&
+                             kind == QuerySpecKind::kTopK &&
+                             spec.time.IsPoint();
+  TopKMemo::Probe probe;
+  std::vector<int> stale_rows;
+  if (memo_eligible) {
+    probe = topk_memo_.Lookup(spec);
+    if (probe.hit) {
+      for (size_t i = 0; i < probe.clean.size(); ++i) {
+        if (!probe.clean[i]) stale_rows.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  const int64_t eval_rows =
+      probe.hit ? static_cast<int64_t>(stale_rows.size()) : num_rows;
+
   // Overflow-safe cost: a product that cannot fit the budget is clamped
   // to just past it — guaranteed rejection without int64 wraparound.
+  // Memo-clean rows gather nothing, so they claim no slots.
   const int64_t cost =
-      num_rows > options_.max_inflight_queries / steps
+      eval_rows > options_.max_inflight_queries / steps
           ? options_.max_inflight_queries + 1
-          : num_rows * steps;
+          : eval_rows * steps;
   Status admitted;
   {
     ScopedSpan admission_span(&trace_ctx, SpanName::kAdmission, cost);
     admitted = AdmitQueries(cost, num_rows);
   }
   O4A_RETURN_NOT_OK(admitted);
-  telemetry_.CountSpec(spec.kind);
+  telemetry_.CountSpec(kind);
+
+  if (probe.hit && stale_rows.empty()) {
+    // Every row provably unchanged: rank the memoized values and answer
+    // without touching the store at all.
+    QueryResult result;
+    result.kind = QuerySpecKind::kTopK;
+    result.rows = std::move(probe.rows);
+    {
+      ScopedSpan rank_span(&trace_ctx, SpanName::kRank, spec.top_k);
+      Stopwatch rank_timer;
+      result.top_k = TopKMemo::RankRows(result.rows, spec.top_k);
+      result.timings.rank_micros = rank_timer.ElapsedMicros();
+    }
+    topk_memo_.Store(spec, result.rows);  // re-anchor the entry at t
+    topk_memo_.CountReuse(num_rows, 0);
+    ReleaseQueries(cost);
+    RecordRowOutcomes(result.rows);
+    return result;
+  }
+
+  QuerySpec memo_spec;  // the original, kept for the post-exec Store
+  if (memo_eligible) memo_spec = spec;
+  if (probe.hit) {
+    // Partial reuse: re-gather only the churned rows. A multi-region
+    // sub-spec evaluates each region through the identical resolve /
+    // gather / fold path, so merged values are bit-identical to a full
+    // top-k execution; ranking happens after the merge.
+    QuerySpec sub;
+    sub.kind = QuerySpecKind::kMultiRegion;
+    sub.regions.reserve(stale_rows.size());
+    for (const int idx : stale_rows) {
+      sub.regions.push_back(spec.regions[static_cast<size_t>(idx)]);
+    }
+    sub.time = spec.time;
+    sub.aggregation = spec.aggregation;
+    sub.strategy = spec.strategy;
+    sub.eval_path = spec.eval_path;
+    sub.keep_series = spec.keep_series;
+    spec = std::move(sub);
+  }
 
   QueryPlanner planner(hierarchy_);
   Result<QueryPlan> plan = Status::Internal("not planned");
@@ -214,6 +311,29 @@ Result<QueryResult> ServingRuntime::ExecuteSpec(QuerySpec spec) {
     std::shared_lock<std::shared_mutex> server_lock(server_mu_);
     result = QueryExecutor(server_.get()).Execute(*plan, exec_options);
   }
+  if (probe.hit) {
+    // Merge: memoized clean rows + freshly gathered churned rows, then
+    // re-rank the full set with RankTopK's exact ordering.
+    QueryResult merged;
+    merged.kind = QuerySpecKind::kTopK;
+    merged.rows = std::move(probe.rows);
+    for (size_t j = 0; j < stale_rows.size(); ++j) {
+      merged.rows[static_cast<size_t>(stale_rows[j])] =
+          std::move(result.rows[j]);
+    }
+    merged.timings = result.timings;
+    merged.cache_hits = result.cache_hits;
+    merged.cache_misses = result.cache_misses;
+    {
+      ScopedSpan rank_span(&trace_ctx, SpanName::kRank, memo_spec.top_k);
+      Stopwatch rank_timer;
+      merged.top_k = TopKMemo::RankRows(merged.rows, memo_spec.top_k);
+      merged.timings.rank_micros = rank_timer.ElapsedMicros();
+    }
+    topk_memo_.CountReuse(num_rows - eval_rows, eval_rows);
+    result = std::move(merged);
+  }
+  if (memo_eligible) topk_memo_.Store(memo_spec, result.rows);
   ReleaseQueries(cost);
   RecordRowOutcomes(result.rows);
   return result;
@@ -228,8 +348,9 @@ void ServingRuntime::SwapIndex(const ExtendedQuadTree* index) {
   }
   // Resolutions embed index lookups, so a topology swap is the one event
   // that clears the resolve cache (epoch rolls must not — resolution is
-  // time-independent).
+  // time-independent). Memoized top-k values embed resolutions too.
   cache_.Invalidate();
+  topk_memo_.Invalidate();
   if (shards_ != nullptr) shards_->InvalidateCaches();
 }
 

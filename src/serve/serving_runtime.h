@@ -19,6 +19,7 @@
 #include "query/query_server.h"
 #include "query/query_spec.h"
 #include "query/resolved_query_cache.h"
+#include "query/topk_memo.h"
 #include "serve/epoch_manager.h"
 #include "serve/stream_ingestor.h"
 #include "shard/shard_set.h"
@@ -170,6 +171,9 @@ class ServingRuntime {
   /// \brief The recorder every layer of this runtime emits spans into.
   TraceRecorder& trace_recorder() { return *trace_; }
   ResolvedQueryCache& cache() { return cache_; }
+  /// \brief The incremental top-k ranking memo (subscription reuse
+  /// stats, test hooks). Fed by the publish path, probed by ExecuteSpec.
+  TopKMemo& topk_memo() { return topk_memo_; }
   FrameEpochManager& epochs() { return epochs_; }
   StreamIngestor& ingestor() { return *ingestor_; }
   /// \brief The backing prediction store — exposed for fault injection
@@ -211,10 +215,10 @@ class ServingRuntime {
   TraceRecorder* trace_;  ///< never null (options.trace or Global())
 
   ServingTelemetry telemetry_;
-  KvStore kv_;
   PredictionStore store_;
   FrameEpochManager epochs_;
   ResolvedQueryCache cache_;
+  TopKMemo topk_memo_;
 
   // The server is swapped whole on SwapIndex; queries hold the shared
   // side for the duration of a batch.
@@ -225,6 +229,9 @@ class ServingRuntime {
   /// through the barrier and queries scatter-gather (the single
   /// store_/epochs_ pair above stays idle).
   std::unique_ptr<ShardSet> shards_;
+  /// The ingestor's publish seam: forwards to the real sink (epochs_ or
+  /// shards_) and feeds each published dirty set to the top-k memo.
+  std::unique_ptr<EpochSink> publish_tap_;
   std::unique_ptr<StreamIngestor> ingestor_;
   std::atomic<int64_t> inflight_{0};
 };

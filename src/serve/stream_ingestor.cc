@@ -259,6 +259,13 @@ void StreamIngestor::Run() {
   }
 
   auto next_publish = std::chrono::steady_clock::now();
+  // The frame set of the last *successfully published* timestep: the
+  // diffing baseline of dirty-tile tracking. Diffing against it is
+  // exactly consistent with the store's copy-on-write base — the
+  // carried-forward previous timestep — so clean tiles alias buffers
+  // with bit-identical content. Empty until the first publish (and
+  // across retries of the same timestep, which re-diff unchanged).
+  std::vector<Tensor> prev_frames;
   int64_t step = 0;
   while (step < options_.num_timesteps) {
     // Clearance gates each publish *attempt*: the pause seam (stalled-
@@ -307,9 +314,25 @@ void StreamIngestor::Run() {
       // clearance. The sink decides the substrate — one epoch manager,
       // or N band shards flipped behind a barrier.
       if (!fatal) {
+        // Dirty-tile tracking: diff this timestep's frames against the
+        // previously published set so the sink stages only changed
+        // tiles. Without carry-forward the previous timestep is never
+        // in the new epoch, so there is no copy-on-write base and the
+        // diff would be wasted work.
+        DirtyTileSets dirty;
+        const DirtyTileSets* dirty_ptr = nullptr;
+        if (options_.carry_forward &&
+            prev_frames.size() == frames->size() && !prev_frames.empty()) {
+          dirty.reserve(frames->size());
+          for (size_t i = 0; i < frames->size(); ++i) {
+            dirty.push_back(DiffFrames((*frames)[i], prev_frames[i]));
+          }
+          dirty_ptr = &dirty;
+        }
         publish_timer.Restart();
         publish_status = epochs_->StageAndPublish(
-            t, *frames, options_.carry_forward, &trace_ctx);
+            t, *frames, dirty_ptr, options_.carry_forward, &trace_ctx);
+        if (publish_status.ok()) prev_frames = std::move(*frames);
       }
     }
     if (fatal) break;

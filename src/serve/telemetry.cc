@@ -30,6 +30,13 @@ ServingTelemetry::ServingTelemetry() {
   registry_.RegisterCounter("one4all_sat_planes_built",
                             "Summed-area planes built alongside frames",
                             "", &sat_planes_built);
+  registry_.RegisterCounter("one4all_stage_dirty_tiles",
+                            "Tiles copied fresh by delta staging", "",
+                            &stage_dirty_tiles);
+  registry_.RegisterCounter("one4all_cow_shared_tiles",
+                            "Tiles aliased copy-on-write from the "
+                            "previous timestep",
+                            "", &cow_shared_tiles);
   registry_.RegisterCounter("one4all_publish_failures",
                             "Publish attempts absorbed after a store "
                             "write refusal",
@@ -62,6 +69,10 @@ ServingTelemetrySnapshot ServingTelemetry::Snapshot() const {
   snap.frames_staged = frames_staged.load(std::memory_order_relaxed);
   snap.sat_planes_built =
       sat_planes_built.load(std::memory_order_relaxed);
+  snap.stage_dirty_tiles =
+      stage_dirty_tiles.load(std::memory_order_relaxed);
+  snap.cow_shared_tiles =
+      cow_shared_tiles.load(std::memory_order_relaxed);
   snap.publish_failures =
       publish_failures.load(std::memory_order_relaxed);
   for (int k = 0; k < kNumQuerySpecKinds; ++k) {
@@ -91,6 +102,8 @@ void ServingTelemetry::Reset() {
   epochs_reclaimed.store(0, std::memory_order_relaxed);
   frames_staged.store(0, std::memory_order_relaxed);
   sat_planes_built.store(0, std::memory_order_relaxed);
+  stage_dirty_tiles.store(0, std::memory_order_relaxed);
+  cow_shared_tiles.store(0, std::memory_order_relaxed);
   publish_failures.store(0, std::memory_order_relaxed);
   for (auto& counter : specs_by_kind) {
     counter.store(0, std::memory_order_relaxed);
@@ -113,6 +126,8 @@ TablePrinter ServingTelemetrySnapshot::Render(
   table.AddRow({"epochs reclaimed", std::to_string(epochs_reclaimed)});
   table.AddRow({"frames staged", std::to_string(frames_staged)});
   table.AddRow({"SAT planes built", std::to_string(sat_planes_built)});
+  table.AddRow({"stage dirty tiles", std::to_string(stage_dirty_tiles)});
+  table.AddRow({"CoW shared tiles", std::to_string(cow_shared_tiles)});
   table.AddRow({"publish failures (absorbed)",
                 std::to_string(publish_failures)});
   table.AddSeparator();

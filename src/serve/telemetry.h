@@ -29,6 +29,13 @@ struct ServingTelemetrySnapshot {
   int64_t epochs_reclaimed = 0;
   int64_t frames_staged = 0;
   int64_t sat_planes_built = 0;  ///< summed-area planes staged with frames
+  /// Tiles copied fresh by delta staging because their cells changed —
+  /// together with cow_shared_tiles this measures the per-epoch churn
+  /// the incremental publication path actually paid for.
+  int64_t stage_dirty_tiles = 0;
+  /// Tiles aliased from the previous timestep's frame/plane instead of
+  /// copied (the copy-on-write savings of delta staging).
+  int64_t cow_shared_tiles = 0;
   /// Publish attempts the ingestor aborted because the store refused a
   /// frame/plane write (fault injection, disk-full analogue). Each is an
   /// absorbed failure: the staging epoch was dropped whole and the
@@ -82,6 +89,8 @@ class ServingTelemetry {
   Counter epochs_reclaimed;
   Counter frames_staged;
   Counter sat_planes_built;
+  Counter stage_dirty_tiles;
+  Counter cow_shared_tiles;
   Counter publish_failures;
   /// Executed specs by QuerySpecKind (legacy QueryBatch counts as
   /// kPointBatch), indexed by static_cast<int>(kind).

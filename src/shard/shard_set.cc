@@ -9,8 +9,7 @@
 namespace one4all {
 
 Shard::Shard(const ShardSetOptions& options, TraceRecorder* trace)
-    : store(&kv),
-      epochs(&store, /*telemetry=*/nullptr,
+    : epochs(&store, /*telemetry=*/nullptr,
              FrameEpochManagerOptions{-1, options.retain_timesteps,
                                       options.build_sat_planes, trace}),
       cache(options.cache) {}
@@ -57,6 +56,7 @@ ShardSet::ShardSet(const Hierarchy* hierarchy, int num_shards,
 
 Status ShardSet::StageAndPublish(int64_t t,
                                  const std::vector<Tensor>& frames,
+                                 const DirtyTileSets* dirty,
                                  bool carry_forward, TraceContext* trace) {
   const int n = num_shards();
   // Phase 1: stage every shard's band slices into per-shard shadow
@@ -77,10 +77,24 @@ Status ShardSet::StageAndPublish(int64_t t,
     ScopedSpan stage_span(trace, SpanName::kStageFrames);
     for (int l = 1; l <= static_cast<int>(frames.size()) && status.ok();
          ++l) {
+      const TileDirtySet* layer_dirty =
+          dirty != nullptr && static_cast<size_t>(l - 1) < dirty->size()
+              ? &(*dirty)[static_cast<size_t>(l) - 1]
+              : nullptr;
       for (int k = 0; k < n && status.ok(); ++k) {
-        if (map_.SliceOf(k, l).empty()) continue;
+        const ShardLayerSlice& slice = map_.SliceOf(k, l);
+        if (slice.empty()) continue;
+        // Re-slice the full-frame dirty set to this shard's band so the
+        // shard delta-stages against its own band-local prior timestep.
+        TileDirtySet band_dirty;
+        const TileDirtySet* band_dirty_ptr = nullptr;
+        if (layer_dirty != nullptr && !layer_dirty->empty()) {
+          band_dirty = layer_dirty->SliceRows(slice.row_begin, slice.row_end);
+          band_dirty_ptr = &band_dirty;
+        }
         status = stagings[static_cast<size_t>(k)].TryStageFrame(
-            l, t, map_.SliceFrame(k, l, frames[static_cast<size_t>(l) - 1]));
+            l, t, map_.SliceFrame(k, l, frames[static_cast<size_t>(l) - 1]),
+            band_dirty_ptr);
         if (status.ok()) {
           ++staged_per_shard[static_cast<size_t>(k)];
           ++staged;

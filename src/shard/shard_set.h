@@ -1,6 +1,6 @@
 // N band-partitioned serving shards behind one epoch barrier. Each
-// shard owns a private KV store, PredictionStore, FrameEpochManager and
-// resolve cache, and stores only its band slice of every layer frame.
+// shard owns a private PredictionStore, FrameEpochManager and resolve
+// cache, and stores only its band slice of every layer frame.
 // Publication is two-phase across shards — stage every shard's slices
 // into still-invisible shadow generations, then flip all shards inside
 // a seqlock window (version odd while flipping) — and readers pin all
@@ -23,7 +23,6 @@
 #include <memory>
 #include <vector>
 
-#include "kvstore/kvstore.h"
 #include "kvstore/prediction_store.h"
 #include "query/resolved_query_cache.h"
 #include "serve/epoch_manager.h"
@@ -54,7 +53,6 @@ struct ShardSetOptions {
 struct Shard {
   Shard(const ShardSetOptions& options, TraceRecorder* trace);
 
-  KvStore kv;
   PredictionStore store;
   FrameEpochManager epochs;
   ResolvedQueryCache cache;
@@ -110,8 +108,14 @@ class ShardSet : public EpochSink {
   /// aborts every shard's staging and returns, nothing published), then
   /// flip all shards inside the seqlock window (phase 2). Readers
   /// pinning concurrently retry until they observe a flip-free window.
+  ///
+  /// A per-layer `dirty` set is re-sliced per band before staging, so
+  /// each shard delta-stages only against its own rows: a dirty tile in
+  /// shard A's band never forces a copy in shard B.
   Status StageAndPublish(int64_t t, const std::vector<Tensor>& frames,
-                         bool carry_forward, TraceContext* trace) override;
+                         const DirtyTileSets* dirty, bool carry_forward,
+                         TraceContext* trace) override;
+  using EpochSink::StageAndPublish;
 
   /// \brief Pins every shard's published epoch under the seqlock: load
   /// version (even = no flip in progress), pin all shards, re-check the

@@ -170,8 +170,7 @@ TEST(DefensiveChecksDeathTest, HierarchyRejectsOutOfRangeGrid) {
 }
 
 TEST(DefensiveChecksDeathTest, PredictionStoreMissingFrameAborts) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   EXPECT_DEATH(store.GetValue(1, 0, 0, 0), "missing prediction frame");
 }
 

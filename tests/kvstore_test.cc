@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "kvstore/kvstore.h"
 #include "kvstore/prediction_store.h"
 #include "test_util.h"
 
@@ -83,8 +84,7 @@ TEST(KvStoreTest, ConcurrentWritersAreSafe) {
 }
 
 TEST(PredictionStoreTest, FrameRoundTrip) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   Rng rng(1);
   Tensor frame = Tensor::RandomUniform({4, 6}, &rng, 0.0f, 50.0f);
   store.SyncFrame(2, 100, frame);
@@ -96,26 +96,23 @@ TEST(PredictionStoreTest, FrameRoundTrip) {
 }
 
 TEST(PredictionStoreTest, MissingFrameIsNotFound) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   EXPECT_FALSE(store.HasFrame(1, 42));
   EXPECT_EQ(store.GetFrame(1, 42).status().code(), StatusCode::kNotFound);
 }
 
 TEST(PredictionStoreTest, SyncOverwritesInPlace) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   store.SyncFrame(1, 7, Tensor::Full({2, 2}, 1.0f));
   store.SyncFrame(1, 7, Tensor::Full({2, 2}, 9.0f));
   EXPECT_FLOAT_EQ(store.GetValue(1, 7, 0, 0), 9.0f);
-  EXPECT_EQ(kv.NumKeys(), 1u);
+  EXPECT_EQ(store.NumFramesAt(0), 1);
 }
 
 TEST(PredictionStoreTest, ConcurrentReadersSeeConsistentFrames) {
   // The batch query engine reads GetValue/GetFrame from many worker
   // threads at once; every reader must observe exactly the synced bytes.
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   Rng rng(3);
   std::vector<Tensor> frames;
   for (int64_t t = 0; t < 6; ++t) {
@@ -149,8 +146,7 @@ TEST(PredictionStoreTest, ConcurrentReadersAndHasFrameGuard) {
   // HasFrame is the guard the serving pipeline checks before routing a
   // time slot to the query server; it must stay exact while another
   // thread keeps syncing new frames.
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   for (int64_t t = 0; t < 8; t += 2) {
     store.SyncFrame(2, t, Tensor::Full({2, 2}, static_cast<float>(t)));
   }
@@ -177,23 +173,24 @@ TEST(PredictionStoreTest, ConcurrentReadersAndHasFrameGuard) {
   writer.join();
   for (auto& th : readers) th.join();
   EXPECT_FALSE(failed.load());
-  EXPECT_EQ(kv.ScanPrefix("pred/00000000/03/").size(), 60u);
+  for (int64_t t = 100; t < 160; ++t) EXPECT_TRUE(store.HasFrame(3, t));
 }
 
-TEST(PredictionStoreTest, KeysAreScannableByLayer) {
-  KvStore kv;
-  PredictionStore store(&kv);
+TEST(PredictionStoreTest, FramesAccountedPerGeneration) {
+  PredictionStore store;
   for (int64_t t = 0; t < 5; ++t) {
     store.SyncFrame(1, t, Tensor({2, 2}));
     store.SyncFrame(2, t, Tensor({1, 1}));
   }
-  EXPECT_EQ(kv.ScanPrefix("pred/00000000/01/").size(), 5u);
-  EXPECT_EQ(kv.ScanPrefix("pred/00000000/02/").size(), 5u);
+  EXPECT_EQ(store.NumFramesAt(0), 10);
+  for (int64_t t = 0; t < 5; ++t) {
+    EXPECT_TRUE(store.HasFrame(1, t));
+    EXPECT_TRUE(store.HasFrame(2, t));
+  }
 }
 
 TEST(PredictionStoreTest, TryGetValueDegradesToStatus) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   EXPECT_EQ(store.TryGetValue(1, 9, 0, 0).status().code(),
             StatusCode::kNotFound);
   store.SyncFrame(1, 9, Tensor::Full({2, 3}, 4.0f));
@@ -210,8 +207,7 @@ TEST(PredictionStoreTest, GenerationsAreIsolated) {
   // A frame staged under a shadow generation must be invisible to readers
   // of the published generation, and vice versa — the invariant the epoch
   // manager's atomic publication is built on.
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   store.SyncFrameAt(1, 1, 0, Tensor::Full({2, 2}, 1.0f));
   store.SyncFrameAt(2, 1, 0, Tensor::Full({2, 2}, 2.0f));
   EXPECT_FALSE(store.HasFrame(1, 0));
@@ -222,8 +218,7 @@ TEST(PredictionStoreTest, GenerationsAreIsolated) {
 }
 
 TEST(PredictionStoreTest, CopyAndDropGeneration) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   for (int64_t t = 0; t < 3; ++t) {
     store.SyncFrameAt(5, 1, t, Tensor::Full({2, 2}, static_cast<float>(t)));
     store.SyncFrameAt(5, 2, t, Tensor::Full({1, 1}, static_cast<float>(t)));
@@ -239,6 +234,124 @@ TEST(PredictionStoreTest, CopyAndDropGeneration) {
   EXPECT_EQ(store.NumFramesAt(6), 6);
   EXPECT_EQ(store.TryGetValueAt(5, 1, 0, 0, 0).status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(PredictionStoreTest, DeltaStagingAliasesCleanTiles) {
+  PredictionStore store;
+  Rng rng(11);
+  Tensor base = Tensor::RandomUniform({64, 64}, &rng, 0.0f, 5.0f);
+  ASSERT_TRUE(store.TrySyncFrameAt(1, 1, 0, base).ok());
+
+  Tensor next = base;  // one cell changes, in tile (0, 0)
+  next.data()[3 * 64 + 7] += 1.0f;
+  TileDirtySet dirty(64, 64);
+  dirty.MarkCell(3, 7);
+  PredictionStore::StageStats stats;
+  ASSERT_TRUE(
+      store.TrySyncFrameDeltaAt(1, 1, 1, next, 0, dirty, &stats).ok());
+  EXPECT_EQ(stats.frame_tiles_total, 4);
+  EXPECT_EQ(stats.frame_tiles_shared, 3);
+
+  // Values are exactly the staged frame's; clean tiles alias the base's
+  // blocks, the dirty one does not.
+  auto restored = store.GetFrameAt(1, 1, 1);
+  ASSERT_TRUE(restored.ok());
+  for (int64_t r = 0; r < 64; ++r) {
+    for (int64_t c = 0; c < 64; ++c) {
+      ASSERT_EQ(restored->at(r, c), next.at(r, c)) << r << "," << c;
+    }
+  }
+  auto t0 = store.GetTiledFrameAt(1, 1, 0);
+  auto t1 = store.GetTiledFrameAt(1, 1, 1);
+  ASSERT_TRUE(t0.ok() && t1.ok());
+  EXPECT_FALSE((*t1)->SharesBlockWith(**t0, 0, 0));
+  EXPECT_TRUE((*t1)->SharesBlockWith(**t0, 0, 1));
+  EXPECT_TRUE((*t1)->SharesBlockWith(**t0, 1, 0));
+  EXPECT_TRUE((*t1)->SharesBlockWith(**t0, 1, 1));
+
+  auto recorded = store.GetDirtyAt(1, 1, 1);
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_EQ(recorded->CountDirty(), 1);
+  EXPECT_TRUE(recorded->dirty(0, 0));
+}
+
+TEST(PredictionStoreTest, DeltaStagingFallsBackWithoutBase) {
+  // A delta stage whose base timestep is absent must degrade to a full
+  // fresh write — identical values, no aliasing, never an error.
+  PredictionStore store;
+  Tensor frame = Tensor::Full({40, 40}, 2.0f);
+  TileDirtySet dirty(40, 40);
+  dirty.MarkCell(0, 0);
+  PredictionStore::StageStats stats;
+  ASSERT_TRUE(
+      store.TrySyncFrameDeltaAt(3, 1, 5, frame, 4, dirty, &stats).ok());
+  EXPECT_EQ(stats.frame_tiles_shared, 0);
+  auto restored = store.GetFrameAt(3, 1, 5);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->AllClose(frame));
+}
+
+TEST(PredictionStoreTest, DeltaPlaneBuildBitIdenticalToFull) {
+  // The incremental plane (clean locals aliased, dirty rebuilt, carries
+  // fixed up) must be bit-identical to a from-scratch build of the same
+  // frame — the parity CopyGeneration/publish bit-exactness rests on.
+  PredictionStore incremental;
+  PredictionStore fresh;
+  Rng rng(17);
+  Tensor base = Tensor::RandomUniform({70, 90}, &rng, 0.0f, 9.0f);
+  Tensor next = base;
+  for (int64_t r = 33; r < 37; ++r) {
+    for (int64_t c = 60; c < 70; ++c) next.data()[r * 90 + c] += 0.5f;
+  }
+  TileDirtySet dirty(70, 90);
+  dirty.MarkRect(33, 60, 37, 70);
+
+  ASSERT_TRUE(incremental.TrySyncFrameAt(1, 1, 0, base).ok());
+  ASSERT_TRUE(incremental.TryBuildSatPlaneAt(1, 1, 0).ok());
+  ASSERT_TRUE(
+      incremental.TrySyncFrameDeltaAt(1, 1, 1, next, 0, dirty, nullptr)
+          .ok());
+  PredictionStore::StageStats stats;
+  ASSERT_TRUE(
+      incremental.TryBuildSatPlaneDeltaAt(1, 1, 1, 0, nullptr, &stats).ok());
+  EXPECT_GT(stats.plane_tiles_reused, 0);
+
+  ASSERT_TRUE(fresh.TrySyncFrameAt(1, 1, 1, next).ok());
+  ASSERT_TRUE(fresh.TryBuildSatPlaneAt(1, 1, 1).ok());
+
+  auto a = incremental.GetTiledSatPlaneAt(1, 1, 1);
+  auto b = fresh.GetTiledSatPlaneAt(1, 1, 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t r = 0; r <= 70; ++r) {
+    for (int64_t c = 0; c <= 90; ++c) {
+      ASSERT_EQ((*a)->PrefixAt(r, c), (*b)->PrefixAt(r, c))
+          << "prefix mismatch at " << r << "," << c;
+    }
+  }
+}
+
+TEST(PredictionStoreTest, CopyGenerationSharesTileBlocks) {
+  // Carry-forward is pointer aliasing: the copied generation's frames
+  // share every tile block with the source until something overwrites.
+  PredictionStore store;
+  Rng rng(23);
+  Tensor frame = Tensor::RandomUniform({64, 64}, &rng, 0.0f, 3.0f);
+  ASSERT_TRUE(store.TrySyncFrameAt(1, 1, 0, frame).ok());
+  EXPECT_EQ(store.CopyGeneration(1, 2), 1);
+  auto src = store.GetTiledFrameAt(1, 1, 0);
+  auto dst = store.GetTiledFrameAt(2, 1, 0);
+  ASSERT_TRUE(src.ok() && dst.ok());
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      EXPECT_TRUE((*dst)->SharesBlockWith(**src, i, j));
+    }
+  }
+  // Dropping the source must leave the copy fully readable (refcounts,
+  // not ownership, keep blocks alive).
+  EXPECT_EQ(store.DropGeneration(1), 1);
+  auto restored = store.GetFrameAt(2, 1, 0);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->AllClose(frame));
 }
 
 }  // namespace

@@ -127,6 +127,29 @@ TEST(ScenarioSpecTest, WrongTypeIsRejectedWithItsLine) {
       << spec.status().ToString();
 }
 
+TEST(ScenarioSpecTest, ChurnFractionParsesAndRejectsOutOfRangeAtItsLine) {
+  auto spec = ParseScenarioSpec(R"({
+  "name": "churny",
+  "ingest": {"steps": 12, "churn_fraction": 0.1}
+})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_DOUBLE_EQ(spec->ingest.churn_fraction, 0.1);
+
+  auto zero = ParseScenarioSpec(R"({
+  "name": "churny",
+  "ingest": {"steps": 12,
+             "churn_fraction": 0.0}
+})");
+  ASSERT_FALSE(zero.ok());
+  const std::string message = zero.status().ToString();
+  EXPECT_NE(message.find("churn_fraction"), std::string::npos) << message;
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+
+  auto above = ParseScenarioSpec(
+      R"({"name": "churny", "ingest": {"churn_fraction": 1.5}})");
+  EXPECT_FALSE(above.ok());
+}
+
 TEST(ScenarioSpecTest, MixFractionsMustSumToOne) {
   auto spec = ParseScenarioSpec(R"({
   "name": "bad_mix",

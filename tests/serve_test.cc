@@ -79,8 +79,7 @@ struct ServeFixture {
 // FrameEpochManager
 
 TEST(FrameEpochManagerTest, PublishIsAtomicAndPinnedEpochsSurvive) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   FrameEpochManager epochs(&store);
   EXPECT_EQ(epochs.published_generation(), 0);
   EXPECT_EQ(epochs.published_latest_t(), -1);
@@ -115,8 +114,7 @@ TEST(FrameEpochManagerTest, PublishIsAtomicAndPinnedEpochsSurvive) {
 }
 
 TEST(FrameEpochManagerTest, CarryForwardExtendsTheServedWindow) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   FrameEpochManager epochs(&store);
 
   auto first = epochs.BeginEpoch(false);
@@ -137,8 +135,7 @@ TEST(FrameEpochManagerTest, CarryForwardExtendsTheServedWindow) {
 }
 
 TEST(FrameEpochManagerTest, RetentionHorizonBoundsCarriedFrames) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   FrameEpochManagerOptions options;
   options.retain_timesteps = 2;
   FrameEpochManager epochs(&store, nullptr, options);
@@ -173,8 +170,7 @@ TEST(FrameEpochManagerTest, RetentionHorizonBoundsCarriedFrames) {
 }
 
 TEST(FrameEpochManagerTest, AbortedStagingLeavesNoFrames) {
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   FrameEpochManager epochs(&store);
   int64_t gen = 0;
   {
@@ -198,8 +194,7 @@ TEST(FrameEpochManagerTest, HammerReadersNeverObserveTornEpochs) {
   const Hierarchy& hierarchy = fixture.dataset->hierarchy();
   const int n_layers = hierarchy.num_layers();
 
-  KvStore kv;
-  PredictionStore store(&kv);
+  PredictionStore store;
   FrameEpochManager epochs(&store);
   RegionQueryServer server(&hierarchy, &fixture.pipeline->index(), &store);
 
@@ -596,6 +591,161 @@ TEST(ServingRuntimeTest, PinnedEpochSurvivesPublishesAndReclamation) {
   runtime.Stop();
   EXPECT_FALSE(store.HasFrameAt(pinned.generation(), 1, start));
   EXPECT_EQ(runtime.epochs().live_epochs(), 1);
+}
+
+// Incremental top-k: a subscribed spec (same regions, advancing point
+// timestep) goes through the memo — a same-timestep re-issue reuses
+// every row, and the post-publish re-issue must rank bit-identically
+// to a cold evaluation whatever mix of reuse and re-gather it took.
+TEST(ServingRuntimeTest, TopKSubscriptionReusesRowsAndStaysExact) {
+  ServeFixture fixture = ServeFixture::Make();
+  ServingRuntimeOptions options = fixture.RuntimeOptions();
+  options.ingest.num_timesteps = 3;
+  options.ingest.manual_stepping = true;
+  ServingRuntime runtime(&fixture.dataset->hierarchy(),
+                         &fixture.pipeline->index(), fixture.dataset.get(),
+                         MakeGroundTruthInference(fixture.dataset.get()),
+                         options);
+  runtime.Start();
+  runtime.ingestor().GrantSteps(1);
+  ASSERT_TRUE(runtime.ingestor().WaitUntilAttempted(1));
+  const int64_t t0 = options.ingest.start_t;
+  const int k = 3;
+
+  auto first = runtime.ExecuteSpec(QuerySpec::TopK(fixture.regions, t0, k));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(runtime.topk_memo().rows_reused(), 0);
+
+  // Same spec, same timestep, no publish in between: every row reuses.
+  auto again = runtime.ExecuteSpec(QuerySpec::TopK(fixture.regions, t0, k));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(runtime.topk_memo().rows_reused(),
+            static_cast<int64_t>(fixture.regions.size()));
+  ASSERT_EQ(again->rows.size(), first->rows.size());
+  EXPECT_EQ(again->top_k, first->top_k);
+  for (size_t i = 0; i < first->rows.size(); ++i) {
+    ASSERT_TRUE(first->rows[i].ok());
+    ASSERT_TRUE(again->rows[i].ok());
+    EXPECT_EQ(again->rows[i]->value, first->rows[i]->value);
+  }
+
+  // Advance the subscription one publish: the merged (reused + freshly
+  // gathered) ranking must be bit-identical to a cold evaluation of the
+  // same spec with the memo wiped.
+  runtime.ingestor().GrantSteps(1);
+  ASSERT_TRUE(runtime.ingestor().WaitUntilAttempted(2));
+  auto warm =
+      runtime.ExecuteSpec(QuerySpec::TopK(fixture.regions, t0 + 1, k));
+  ASSERT_TRUE(warm.ok());
+  runtime.topk_memo().Invalidate();
+  auto cold =
+      runtime.ExecuteSpec(QuerySpec::TopK(fixture.regions, t0 + 1, k));
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(warm->rows.size(), cold->rows.size());
+  EXPECT_EQ(warm->top_k, cold->top_k);
+  for (size_t i = 0; i < cold->rows.size(); ++i) {
+    ASSERT_TRUE(cold->rows[i].ok());
+    ASSERT_TRUE(warm->rows[i].ok());
+    EXPECT_EQ(warm->rows[i]->value, cold->rows[i]->value);
+  }
+  runtime.Stop();
+}
+
+// The copy-on-write hammer (raced under TSan in CI): a writer publishes
+// carry-forward epochs in a loop, delta-staging each timestep so clean
+// tiles alias the previous generation's blocks; readers pin epochs and
+// sum whole frames through them while superseded generations reclaim
+// underneath. Because reclamation is a refcount drop — never a free of
+// a block some live generation still aliases — every pinned read must
+// see exactly the deterministic frame its timestep was staged with.
+TEST(FrameEpochManagerTest, HammerCowSharedTilesSurvivePinAndReclaim) {
+  constexpr int64_t kH = 64, kW = 64;
+  constexpr int kSteps = 60;
+  constexpr int kReaders = 3;
+
+  // Deterministic frame sequence: start all-ones, each step t stamps the
+  // value t into one rotating 8x16 rect. Precompute every frame's total
+  // so readers can verify sums without holding the writer's state.
+  std::vector<double> expected_sum(kSteps + 1);
+  std::vector<Tensor> frames;
+  {
+    Tensor frame = Tensor::Full({kH, kW}, 1.0f);
+    for (int t = 0; t <= kSteps; ++t) {
+      if (t > 0) {
+        const int64_t r0 = (static_cast<int64_t>(t) * 8) % kH;
+        const int64_t c0 = (static_cast<int64_t>(t) * 16) % kW;
+        for (int64_t r = r0; r < r0 + 8; ++r) {
+          for (int64_t c = c0; c < c0 + 16; ++c) {
+            frame.data()[r * kW + c] = static_cast<float>(t);
+          }
+        }
+      }
+      double sum = 0.0;
+      for (int64_t i = 0; i < frame.numel(); ++i) sum += frame.data()[i];
+      expected_sum[t] = sum;
+      frames.push_back(frame);
+    }
+  }
+
+  PredictionStore store;
+  ServingTelemetry telemetry;
+  FrameEpochManagerOptions epoch_options;
+  // 2 is the tightest horizon that still carries the t-1 CoW base into
+  // each staging (1 would carry nothing and delta-stage fresh).
+  epoch_options.retain_timesteps = 2;
+  FrameEpochManager epochs(&store, &telemetry, epoch_options);
+
+  // Seed t=0 fully fresh so every later step has a CoW base.
+  {
+    auto staging = epochs.BeginEpoch(/*carry_forward=*/false);
+    staging.StageFrame(1, 0, frames[0]);
+    epochs.Publish(std::move(staging));
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int64_t> bad_reads{0};
+  std::atomic<int64_t> reads_checked{0};
+
+  std::thread writer([&] {
+    for (int t = 1; t <= kSteps; ++t) {
+      const int64_t r0 = (static_cast<int64_t>(t) * 8) % kH;
+      const int64_t c0 = (static_cast<int64_t>(t) * 16) % kW;
+      TileDirtySet dirty(kH, kW);
+      dirty.MarkRect(r0, c0, r0 + 8, c0 + 16);
+      auto staging = epochs.BeginEpoch(/*carry_forward=*/true);
+      ASSERT_TRUE(staging.TryStageFrame(1, t, frames[t], &dirty).ok());
+      epochs.Publish(std::move(staging));
+    }
+    writer_done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      int rounds = 0;
+      while (!writer_done.load() || rounds < 5) {
+        ++rounds;
+        EpochGuard guard = epochs.Pin();
+        const int64_t t = guard.latest_t();
+        auto frame = store.GetFrameAt(guard.generation(), 1, t);
+        ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+        double sum = 0.0;
+        for (int64_t i = 0; i < frame->numel(); ++i) sum += frame->data()[i];
+        if (sum != expected_sum[t]) bad_reads.fetch_add(1);
+        reads_checked.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(bad_reads.load(), 0);
+  EXPECT_GE(reads_checked.load(), kReaders * 5);
+  EXPECT_EQ(epochs.live_epochs(), 1);
+  // The whole run really went through the CoW path: out of the 32 tiles
+  // per frame, each step copied 1-2 and aliased the rest.
+  const auto snapshot = telemetry.Snapshot();
+  EXPECT_GT(snapshot.cow_shared_tiles, snapshot.stage_dirty_tiles);
+  EXPECT_GT(snapshot.stage_dirty_tiles, 0);
 }
 
 // A store refusing writes must not kill the ingest thread: each refused

@@ -170,6 +170,98 @@ TEST(ShardSetTest, BarrierPublishesAllShardsAtomically) {
   }
 }
 
+// The incremental-staging parity pin: publishing a churn stream through
+// the dirty-carrying StageAndPublish must leave an N-shard set serving
+// exactly the same values as N=1 — per-band dirty slicing, delta-staged
+// bands and CoW aliasing included. Bit-exact, not approximately equal:
+// clean tiles are the previous epoch's bytes and dirty tiles are staged
+// by the same full-copy path both topologies share.
+TEST(ShardParityTest, IncrementalStagingBitExactAcrossShardCounts) {
+  Hierarchy hierarchy = Hierarchy::Uniform(64, 64, 2, 16);
+  const int num_layers = hierarchy.num_layers();
+  ShardSet set1(&hierarchy, 1, nullptr, ShardSetOptions{});
+  ShardSet set4(&hierarchy, 4, nullptr, ShardSetOptions{});
+
+  std::vector<Tensor> prev;
+  for (int l = 1; l <= num_layers; ++l) {
+    const LayerInfo& info = hierarchy.layer(l);
+    Rng rng(100 + static_cast<uint64_t>(l));
+    prev.push_back(
+        Tensor::RandomUniform({info.height, info.width}, &rng, 0.0f, 8.0f));
+  }
+  ASSERT_TRUE(set1.StageAndPublish(0, prev, nullptr, true, nullptr).ok());
+  ASSERT_TRUE(set4.StageAndPublish(0, prev, nullptr, true, nullptr).ok());
+
+  constexpr int64_t kSteps = 5;
+  for (int64_t t = 1; t <= kSteps; ++t) {
+    std::vector<Tensor> next;
+    DirtyTileSets dirty;
+    for (int l = 1; l <= num_layers; ++l) {
+      const LayerInfo& info = hierarchy.layer(l);
+      Tensor frame = prev[static_cast<size_t>(l) - 1];
+      // One small localized rect of churn per layer per step.
+      const int64_t r0 = (t * 7) % std::max<int64_t>(info.height - 3, 1);
+      const int64_t c0 = (t * 11) % std::max<int64_t>(info.width - 3, 1);
+      for (int64_t r = r0; r < std::min(r0 + 4, info.height); ++r) {
+        for (int64_t c = c0; c < std::min(c0 + 4, info.width); ++c) {
+          frame.data()[r * info.width + c] += static_cast<float>(t + l);
+        }
+      }
+      dirty.push_back(DiffFrames(frame, prev[static_cast<size_t>(l) - 1]));
+      EXPECT_TRUE(dirty.back().AnyDirty());
+      next.push_back(std::move(frame));
+    }
+    ASSERT_TRUE(set1.StageAndPublish(t, next, &dirty, true, nullptr).ok());
+    ASSERT_TRUE(set4.StageAndPublish(t, next, &dirty, true, nullptr).ok());
+    prev = std::move(next);
+  }
+
+  ShardPinSet pins1 = set1.PinAll();
+  ShardPinSet pins4 = set4.PinAll();
+  ASSERT_TRUE(pins1.pinned() && pins4.pinned());
+  for (int l = 1; l <= num_layers; ++l) {
+    const LayerInfo& info = hierarchy.layer(l);
+    for (int64_t t = 0; t <= kSteps; ++t) {
+      auto whole = set1.shard(0).store.GetFrameAt(pins1.generation(0), l, t);
+      ASSERT_TRUE(whole.ok()) << "layer " << l << " t " << t;
+      for (int k = 0; k < set4.num_shards(); ++k) {
+        const ShardLayerSlice& slice = set4.map().SliceOf(k, l);
+        if (slice.empty()) continue;
+        auto band =
+            set4.shard(k).store.GetFrameAt(pins4.generation(k), l, t);
+        ASSERT_TRUE(band.ok()) << "shard " << k << " layer " << l;
+        for (int64_t r = 0; r < slice.num_rows(); ++r) {
+          for (int64_t c = 0; c < info.width; ++c) {
+            ASSERT_EQ(band->at(r, c), whole->at(slice.row_begin + r, c))
+                << "shard " << k << " layer " << l << " t " << t;
+          }
+        }
+      }
+    }
+  }
+
+  // Both topologies really took the CoW path: within the published
+  // generation, consecutive timesteps share the clean tiles' blocks.
+  auto count_shared = [&](ShardSet& set, const ShardPinSet& pins) {
+    int64_t shared = 0;
+    for (int k = 0; k < set.num_shards(); ++k) {
+      auto a = set.shard(k).store.GetTiledFrameAt(pins.generation(k), 1,
+                                                  kSteps - 1);
+      auto b =
+          set.shard(k).store.GetTiledFrameAt(pins.generation(k), 1, kSteps);
+      if (!a.ok() || !b.ok()) continue;
+      for (int64_t i = 0; i < (*a)->tiles_h(); ++i) {
+        for (int64_t j = 0; j < (*a)->tiles_w(); ++j) {
+          if ((*b)->SharesBlockWith(**a, i, j)) ++shared;
+        }
+      }
+    }
+    return shared;
+  };
+  EXPECT_GT(count_shared(set1, pins1), 0);
+  EXPECT_GT(count_shared(set4, pins4), 0);
+}
+
 TEST(ShardSetTest, WriteFaultAbortsAllShardsAndRecovers) {
   Hierarchy hierarchy = Hierarchy::Uniform(16, 16, 2, 16);
   ShardSet set(&hierarchy, 3, nullptr, ShardSetOptions{});

@@ -1,0 +1,239 @@
+// Tests for the tiled two-level SAT substrate (src/tensor/tiled_sat):
+// the dirty-tile set semantics, copy-on-write tiled frames, and — the
+// load-bearing property — that the tiled plane's prefix reads and rect
+// sums are bit-identical to the monolithic SatPlane whether the plane
+// was built from scratch or incrementally from a dirty set.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/prefix_sum.h"
+#include "tensor/tensor.h"
+#include "tensor/tiled_sat.h"
+
+namespace one4all {
+namespace {
+
+Tensor RandomFrame(int64_t h, int64_t w, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandomUniform({h, w}, &rng, 0.0f, 10.0f);
+}
+
+// Every prefix entry and a battery of rect sums must match the
+// monolithic plane bit-for-bit (both accumulate in double with the same
+// grouping, so == is the right comparison, not Near).
+void ExpectBitIdentical(const TiledSatPlane& tiled, const SatPlane& flat,
+                        int64_t h, int64_t w) {
+  for (int64_t r = 0; r <= h; ++r) {
+    for (int64_t c = 0; c <= w; ++c) {
+      ASSERT_EQ(tiled.PrefixAt(r, c), flat.at(r, c))
+          << "prefix mismatch at " << r << "," << c;
+    }
+  }
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    int64_t r0 = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(h + 1)));
+    int64_t r1 = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(h + 1)));
+    int64_t c0 = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(w + 1)));
+    int64_t c1 = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(w + 1)));
+    if (r0 > r1) std::swap(r0, r1);
+    if (c0 > c1) std::swap(c0, c1);
+    ASSERT_EQ(tiled.RectSum(r0, c0, r1, c1), flat.RectSum(r0, c0, r1, c1))
+        << "rect (" << r0 << "," << c0 << ")-(" << r1 << "," << c1 << ")";
+  }
+}
+
+TEST(TileDirtySetTest, MarkAndIntersectSemantics) {
+  TileDirtySet dirty(100, 70);  // 4 x 3 tiles of 32
+  EXPECT_EQ(dirty.tiles_h(), 4);
+  EXPECT_EQ(dirty.tiles_w(), 3);
+  EXPECT_FALSE(dirty.empty());
+  EXPECT_FALSE(dirty.AnyDirty());
+
+  dirty.MarkCell(31, 31);  // last cell of tile (0, 0)
+  dirty.MarkCell(32, 32);  // first cell of tile (1, 1)
+  EXPECT_TRUE(dirty.dirty(0, 0));
+  EXPECT_TRUE(dirty.dirty(1, 1));
+  EXPECT_FALSE(dirty.dirty(0, 1));
+  EXPECT_EQ(dirty.CountDirty(), 2);
+
+  // Cell-rect intersection respects tile granularity: any rect touching
+  // a dirty tile's cells intersects, one confined to clean tiles misses.
+  EXPECT_TRUE(dirty.IntersectsRect(0, 0, 1, 1));
+  EXPECT_FALSE(dirty.IntersectsRect(64, 0, 100, 32));
+
+  // Unknown (default-constructed) sets conservatively intersect all.
+  TileDirtySet unknown;
+  EXPECT_TRUE(unknown.empty());
+  EXPECT_TRUE(unknown.IntersectsRect(0, 0, 1, 1));
+
+  TileDirtySet all = TileDirtySet::AllDirty(100, 70);
+  EXPECT_EQ(all.CountDirty(), 12);
+}
+
+TEST(TileDirtySetTest, MarkRectCoversExactTileSpan) {
+  TileDirtySet dirty(128, 128);
+  dirty.MarkRect(30, 30, 34, 34);  // straddles a 2x2 tile corner
+  EXPECT_EQ(dirty.CountDirty(), 4);
+  EXPECT_TRUE(dirty.dirty(0, 0));
+  EXPECT_TRUE(dirty.dirty(0, 1));
+  EXPECT_TRUE(dirty.dirty(1, 0));
+  EXPECT_TRUE(dirty.dirty(1, 1));
+  EXPECT_FALSE(dirty.dirty(2, 2));
+}
+
+TEST(TileDirtySetTest, SliceRowsMapsBandOntoLocalCoordinates) {
+  TileDirtySet dirty(128, 64);
+  dirty.MarkCell(70, 5);  // tile row 2 of the full grid
+  // A tile-aligned band [64, 128) sees it as its local tile row 0.
+  TileDirtySet band = dirty.SliceRows(64, 128);
+  EXPECT_EQ(band.height(), 64);
+  EXPECT_TRUE(band.dirty(0, 0));
+  EXPECT_EQ(band.CountDirty(), 1);
+  // A band that misses the dirty row entirely is all-clean.
+  TileDirtySet clean_band = dirty.SliceRows(0, 64);
+  EXPECT_FALSE(clean_band.AnyDirty());
+}
+
+TEST(DiffFramesTest, FindsExactlyTheChangedTiles) {
+  Tensor base = RandomFrame(96, 96, 5);
+  Tensor next = base;
+  next.data()[40 * 96 + 80] += 1.0f;  // tile (1, 2)
+  TileDirtySet dirty = DiffFrames(next, base);
+  EXPECT_EQ(dirty.CountDirty(), 1);
+  EXPECT_TRUE(dirty.dirty(1, 2));
+
+  // Geometry mismatch degrades to all-dirty, never a wrong answer.
+  TileDirtySet mismatch = DiffFrames(next, RandomFrame(32, 96, 6));
+  EXPECT_TRUE(mismatch.empty() || mismatch.CountDirty() == 9);
+}
+
+TEST(TiledFrameTest, FromDeltaAliasesCleanBlocks) {
+  Tensor base = RandomFrame(64, 96, 7);  // 2 x 3 tiles
+  Tensor next = base;
+  next.data()[10 * 96 + 40] += 2.0f;  // tile (0, 1)
+  TiledFrame base_tiled = TiledFrame::FromTensor(base);
+  TileDirtySet dirty = DiffFrames(next, base);
+  int64_t shared = 0;
+  TiledFrame next_tiled =
+      TiledFrame::FromDelta(next, base_tiled, dirty, &shared);
+  EXPECT_EQ(shared, 5);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(next_tiled.SharesBlockWith(base_tiled, i, j),
+                !(i == 0 && j == 1));
+    }
+  }
+  // Cell reads and the materialized tensor reproduce `next` exactly.
+  Tensor round_trip = next_tiled.Materialize();
+  for (int64_t r = 0; r < 64; ++r) {
+    for (int64_t c = 0; c < 96; ++c) {
+      ASSERT_EQ(next_tiled.at(r, c), next.at(r, c));
+      ASSERT_EQ(round_trip.at(r, c), next.at(r, c));
+    }
+  }
+}
+
+// The core parity sweep: random frames at awkward geometries (tile
+// multiples, off-by-one, sub-tile, single row/column) — a from-scratch
+// tiled build must match the monolithic plane bit-for-bit.
+TEST(TiledSatPlaneTest, BuildMatchesMonolithicBitForBit) {
+  const int64_t geometries[][2] = {{64, 64},  {65, 63}, {1, 200},
+                                   {200, 1},  {31, 31}, {32, 32},
+                                   {33, 100}, {7, 5}};
+  uint64_t seed = 11;
+  for (const auto& g : geometries) {
+    Tensor frame = RandomFrame(g[0], g[1], seed++);
+    const TiledSatPlane tiled =
+        TiledSatPlane::Build(TiledFrame::FromTensor(frame));
+    const SatPlane flat = BuildSatPlane(frame);
+    ExpectBitIdentical(tiled, flat, g[0], g[1]);
+    // Materialize round-trips into a bit-identical monolithic plane.
+    const SatPlane materialized = tiled.Materialize();
+    ASSERT_EQ(materialized.numel(), flat.numel());
+    for (int64_t i = 0; i < flat.numel(); ++i) {
+      ASSERT_EQ(materialized.data()[i], flat.data()[i]);
+    }
+  }
+}
+
+// Incremental rebuild parity: randomized dirty rects — including the
+// ISSUE-pinned adversarial shapes (tile-boundary straddles, single-row
+// dirty rects) — must leave BuildDelta bit-identical to a full Build of
+// the mutated frame, while actually reusing the clean locals.
+TEST(TiledSatPlaneTest, BuildDeltaBitIdenticalToFullRebuild) {
+  const int64_t h = 130, w = 97;  // ragged: 5 x 4 tiles with remainders
+  Tensor base = RandomFrame(h, w, 21);
+  const TiledFrame base_tiled = TiledFrame::FromTensor(base);
+  const TiledSatPlane base_plane = TiledSatPlane::Build(base_tiled);
+
+  struct Rect {
+    int64_t r0, c0, r1, c1;
+  };
+  std::vector<Rect> rects = {
+      {31, 31, 34, 34},  // straddles a 2x2 tile corner
+      {64, 0, 65, 97},   // single row on a tile boundary
+      {0, 42, 130, 43},  // single column through every tile row
+      {129, 96, 130, 97},// last ragged cell
+      {0, 0, 1, 1},      // first cell
+  };
+  Rng rng(33);
+  for (int i = 0; i < 10; ++i) {  // plus random rects
+    int64_t r0 = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(h)));
+    int64_t c0 = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(w)));
+    int64_t r1 = r0 + 1 + static_cast<int64_t>(rng.UniformInt(40));
+    int64_t c1 = c0 + 1 + static_cast<int64_t>(rng.UniformInt(40));
+    rects.push_back({r0, c0, std::min(r1, h), std::min(c1, w)});
+  }
+
+  uint64_t noise = 1;
+  for (const Rect& rect : rects) {
+    Tensor next = base;
+    for (int64_t r = rect.r0; r < rect.r1; ++r) {
+      for (int64_t c = rect.c0; c < rect.c1; ++c) {
+        next.data()[r * w + c] +=
+            0.25f * static_cast<float>((noise++ % 7) + 1);
+      }
+    }
+    TileDirtySet dirty(h, w);
+    dirty.MarkRect(rect.r0, rect.c0, rect.r1, rect.c1);
+
+    const TiledFrame next_tiled =
+        TiledFrame::FromDelta(next, base_tiled, dirty, nullptr);
+    int64_t reused = 0;
+    const TiledSatPlane delta =
+        TiledSatPlane::BuildDelta(next_tiled, base_plane, dirty, &reused);
+    const TiledSatPlane full =
+        TiledSatPlane::Build(TiledFrame::FromTensor(next));
+    ExpectBitIdentical(delta, full.Materialize(), h, w);
+
+    // Clean locals were aliased, dirty ones rebuilt.
+    EXPECT_EQ(reused, dirty.num_tiles() - dirty.CountDirty());
+    for (int64_t ti = 0; ti < dirty.tiles_h(); ++ti) {
+      for (int64_t tj = 0; tj < dirty.tiles_w(); ++tj) {
+        EXPECT_EQ(delta.SharesLocalWith(base_plane, ti, tj),
+                  !dirty.dirty(ti, tj))
+            << "tile " << ti << "," << tj;
+      }
+    }
+  }
+}
+
+// An all-clean delta (empty dirty set over a byte-identical frame) is
+// pure aliasing: every local reused, prefixes bit-identical to the base.
+TEST(TiledSatPlaneTest, NoOpDeltaReusesEveryTile) {
+  Tensor frame = RandomFrame(96, 64, 41);
+  const TiledFrame tiled = TiledFrame::FromTensor(frame);
+  const TiledSatPlane base = TiledSatPlane::Build(tiled);
+  TileDirtySet clean(96, 64);
+  int64_t reused = 0;
+  const TiledSatPlane delta =
+      TiledSatPlane::BuildDelta(tiled, base, clean, &reused);
+  EXPECT_EQ(reused, clean.num_tiles());
+  ExpectBitIdentical(delta, base.Materialize(), 96, 64);
+}
+
+}  // namespace
+}  // namespace one4all
